@@ -1,0 +1,74 @@
+// Shared helpers for the figure-reproduction benches: native host
+// calibration (gamma/beta measured from the BLAS substrate), workload
+// construction, and uniform headers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "model/arch.hpp"
+#include "model/counts.hpp"
+
+namespace fmmfft::bench {
+
+/// Measure this host's practical GEMM flop rates and stream bandwidth, the
+/// native analogue of §5.4's "practical architecture parameters".
+struct NativeRates {
+  double gemm_f32 = 0;  ///< flop/s
+  double gemm_f64 = 0;
+  double stream_bw = 0;  ///< bytes/s
+};
+
+inline NativeRates calibrate_native() {
+  NativeRates r;
+  const index_t n = 192;
+  {
+    Buffer<float> a(n * n), b(n * n), c(n * n);
+    fill_uniform(a.data(), n * n, 1);
+    fill_uniform(b.data(), n * n, 2);
+    double sec = time_best([&] {
+      blas::gemm<float>(blas::Op::N, blas::Op::N, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+                        c.data(), n);
+    });
+    r.gemm_f32 = blas::gemm_flops(n, n, n) / sec;
+  }
+  {
+    Buffer<double> a(n * n), b(n * n), c(n * n);
+    fill_uniform(a.data(), n * n, 3);
+    fill_uniform(b.data(), n * n, 4);
+    double sec = time_best([&] {
+      blas::gemm<double>(blas::Op::N, blas::Op::N, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                         c.data(), n);
+    });
+    r.gemm_f64 = blas::gemm_flops(n, n, n) / sec;
+  }
+  {
+    const index_t len = 1 << 22;  // 32 MiB of doubles: past L2/L3
+    Buffer<double> a(len), b(len);
+    fill_uniform(a.data(), len, 5);
+    double sec = time_best([&] {
+      for (index_t i = 0; i < len; ++i) b[i] = a[i] * 1.0000001 + 0.5;
+    });
+    r.stream_bw = 2.0 * double(len) * sizeof(double) / sec;
+  }
+  return r;
+}
+
+inline model::ArchParams native_arch(int g) {
+  auto r = calibrate_native();
+  return model::native_host(g, r.gemm_f32, r.gemm_f64, r.stream_bw);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace fmmfft::bench

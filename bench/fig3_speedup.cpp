@@ -1,0 +1,108 @@
+// Figure 3 — speedup of the FMM-FFT over the baseline 1D FFT.
+//
+// Paper: six panels — {complex-float, complex-double} × {2xK40c/PCIe,
+// 2xP100/NVLink, 8xP100/NVLink} — for N = 2^12..2^29. For each N the
+// fastest FMM-FFT over the parameter search is reported together with the
+// roofline-model bound ("FMM-FFT Model") and the 2D-FFT budget bar.
+// Headline numbers: ~1.0-1.05x on 2xK40c at large N, 1.2-1.3x on 2xP100,
+// 1.8-2.14x on 8xP100; >1.4x in the latency-bound small-N regime.
+//
+// Here: per (precision, system, N) we search the admissible parameter
+// space with the §5 model, simulate the FMM-FFT and baseline schedules
+// under the paper's architecture parameters, and report
+//   measured  = simulated-schedule speedup,
+//   model     = pure-roofline speedup bound (100% efficiency, no latency),
+//   2D FFT    = speedup of the one-transpose 2D FFT (the budget bar).
+// Accuracy of the underlying numerics is asserted natively per precision.
+#include <complex>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "core/fmmfft.hpp"
+#include "core/reference.hpp"
+#include "dist/schedules.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+void panel(const char* title, const model::ArchParams& arch, bool is_double, int lg_max) {
+  std::printf("\n--- %s ---\n", title);
+  Table t({"N", "best params (P,ML,B,Q)", "FMM-FFT [ms]", "1D FFT [ms]", "speedup",
+           "model bound", "2D-FFT speedup"});
+  const int g = arch.num_devices;
+  const int q = is_double ? 16 : 8;
+  for (int lg = 12; lg <= lg_max; ++lg) {
+    const index_t n = index_t(1) << lg;
+    const model::Workload w{n, true, is_double};
+    fmm::Params prm;
+    try {
+      prm = model::search_best_params(n, g, w, arch, q);
+    } catch (const Error&) {
+      continue;  // no admissible parameters at this tiny size
+    }
+    const double t_fmm = dist::fmmfft_schedule(prm, w, g).simulate(arch).total_seconds;
+    const double t_base = dist::baseline1d_schedule(n, w, g).simulate(arch).total_seconds;
+    const double model_fmm = model::fmmfft_seconds(prm, w, arch, /*apply_efficiency=*/false);
+    const double model_base = model::baseline1d_seconds(w, arch, /*apply_efficiency=*/false);
+    const index_t m2d = prm.m();
+    const double t_2d =
+        dist::dist2dfft_schedule(m2d, n / m2d, w, g).simulate(arch).total_seconds;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%lld,%lld,%d,%d", (long long)prm.p, (long long)prm.ml,
+                  prm.b, prm.q);
+    t.row()
+        .col("2^" + std::to_string(lg))
+        .col(buf)
+        .col(t_fmm * 1e3, 3)
+        .col(t_base * 1e3, 3)
+        .col(t_base / t_fmm, 2)
+        .col(model_base / model_fmm, 2)
+        .col(t_base / t_2d, 2);
+  }
+  t.print();
+}
+
+template <typename Cx>
+void accuracy_check(const char* label, double bound) {
+  const fmm::Params prm{1 << 16, 128, 16, 3, std::is_same_v<Cx, std::complex<double>> ? 18 : 8};
+  std::vector<Cx> x((std::size_t)prm.n), got(x.size());
+  fill_uniform(x.data(), prm.n, 42);
+  core::FmmFft<Cx> plan(prm);
+  plan.execute(x.data(), got.data());
+  std::vector<std::complex<double>> xd(x.size()), ref(x.size()), gd(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xd[i] = {double(x[i].real()), double(x[i].imag())};
+    gd[i] = {double(got[i].real()), double(got[i].imag())};
+  }
+  core::exact_fft(prm.n, xd.data(), ref.data());
+  const double err = rel_l2_error(gd.data(), ref.data(), prm.n);
+  std::printf("accuracy (%s, native execution): rel l2 = %.2e (paper bound: < %.0e) %s\n",
+              label, err, bound, err < bound ? "OK" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Figure 3: FMM-FFT speedup over the 1D FFT baseline",
+                      "Fig. 3 — six panels, speedup vs N with model bound and 2D-FFT budget");
+
+  accuracy_check<std::complex<float>>("ComplexFloat", 4e-7);
+  accuracy_check<std::complex<double>>("ComplexDouble", 2e-14);
+
+  panel("ComplexFloat,  2xK40c, PCIe    (paper: 1.66..1.04)", model::k40c_pcie(2), false, 27);
+  panel("ComplexDouble, 2xK40c, PCIe    (paper: 1.69..1.05)", model::k40c_pcie(2), true, 27);
+  panel("ComplexFloat,  2xP100, NVLINK  (paper: 1.20..1.29)", model::p100_nvlink(2), false, 28);
+  panel("ComplexDouble, 2xP100, NVLINK  (paper: 1.15..1.29)", model::p100_nvlink(2), true, 27);
+  panel("ComplexFloat,  8xP100, NVLINK  (paper: 1.44..2.09)", model::p100_nvlink(8), false, 29);
+  panel("ComplexDouble, 8xP100, NVLINK  (paper: 1.78..2.14)", model::p100_nvlink(8), true, 28);
+
+  std::printf(
+      "\nexpected shape (paper): consistent >1x wins on P100 growing with G; marginal\n"
+      "(~1.0x) on 2xK40c at large N but >1.4x in the small-N latency regime; the\n"
+      "2D-FFT budget approaches ~3x at large N.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 4 — fraction of FMM time spent in each kernel vs N.
+//
+// Paper: double-complex on 2xP100; stacked fractions of M2L-B, M2L-l, S2T,
+// BatchedGEMM (S2M/M2M/L2L/L2T) and GEMV. At small N the fastest config
+// keeps L = B, so M2L-B and S2T carry the work; at large N, M2L-B is
+// negligible and BatchedGEMM + S2T dominate.
+//
+// Here: the same sweep on the simulated 2xP100, using the model-searched
+// best parameters per N (exactly how the paper picks its configs), plus a
+// native-measurement variant at host-feasible sizes built from real
+// per-stage wall times.
+#include <complex>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/fmmfft.hpp"
+#include "dist/schedules.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+struct Fractions {
+  double m2lb = 0, m2ll = 0, s2t = 0, bgemm = 0, gemv = 0;
+  void add(const std::string& name, fmm::KernelClass k, double sec) {
+    if (name == "M2L-B")
+      m2lb += sec;
+    else if (name.rfind("M2L-", 0) == 0)
+      m2ll += sec;
+    else if (name == "S2T")
+      s2t += sec;
+    else if (k == fmm::KernelClass::Gemv)
+      gemv += sec;
+    else if (k == fmm::KernelClass::BatchedGemm)
+      bgemm += sec;
+  }
+  double total() const { return m2lb + m2ll + s2t + bgemm + gemv; }
+};
+
+void emit(Table& t, const std::string& n_label, const std::string& params, const Fractions& f) {
+  const double tot = f.total() > 0 ? f.total() : 1;
+  t.row()
+      .col(n_label)
+      .col(params)
+      .col(f.m2lb / tot, 3)
+      .col(f.m2ll / tot, 3)
+      .col(f.s2t / tot, 3)
+      .col(f.bgemm / tot, 3)
+      .col(f.gemv / tot, 3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Figure 4: fraction of FMM time per kernel",
+                      "Fig. 4 — CD, 2xP100, best params per N");
+
+  const int g = 2;
+  const auto arch = model::p100_nvlink(g);
+
+  Table t({"N", "P,ML,B", "M2L-B", "M2L-l", "S2T", "B-GEMM", "GEMV"});
+  for (int lg = 12; lg <= 27; ++lg) {
+    const index_t n = index_t(1) << lg;
+    const model::Workload w{n, true, true};
+    fmm::Params prm;
+    try {
+      prm = model::search_best_params(n, g, w, arch, 16);
+    } catch (const Error&) {
+      continue;
+    }
+    Fractions f;
+    for (const auto& st : model::exact_fmm_counts(prm, w.c(), g)) {
+      const double sec = arch.launch_overhead +
+                         model::roofline_seconds(st.flops, st.mem_scalars * w.real_bytes(),
+                                                 arch, true) /
+                             arch.efficiency(st.kernel);
+      f.add(st.name, st.kernel, sec);
+    }
+    emit(t, "2^" + std::to_string(lg),
+         std::to_string(prm.p) + "," + std::to_string(prm.ml) + "," + std::to_string(prm.b), f);
+  }
+  t.print();
+  std::printf("expected shape (paper): M2L-B + S2T dominate small N (L = B configs);\n"
+              "B-GEMM + S2T dominate large N; GEMV negligible throughout.\n");
+
+  // Native measurement: real per-stage wall times on this host.
+  std::printf("\nnative per-stage wall-time fractions (real execution on this host):\n");
+  Table tn({"N", "P,ML,B", "M2L-B", "M2L-l", "S2T", "B-GEMM", "GEMV"});
+  for (int lg : {14, 16, 18, 20}) {
+    const index_t n = index_t(1) << lg;
+    fmm::Params prm{n, 64, 16, 3, 16};
+    if (!prm.is_admissible(1)) prm = fmm::Params{n, 64, 8, 3, 16};
+    std::vector<std::complex<double>> x((std::size_t)n), y(x.size());
+    fill_uniform(x.data(), n, lg);
+    core::FmmFft<std::complex<double>> plan(prm);
+    plan.execute(x.data(), y.data());
+    Fractions f;
+    for (const auto& st : plan.profile().fmm_stages)
+      if (st.kernel != fmm::KernelClass::Copy) f.add(st.name, st.kernel, st.seconds);
+    emit(tn, "2^" + std::to_string(lg),
+         std::to_string(prm.p) + "," + std::to_string(prm.ml) + "," + std::to_string(prm.b), f);
+  }
+  tn.print();
+  return 0;
+}

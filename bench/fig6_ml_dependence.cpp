@@ -1,0 +1,85 @@
+// Figure 6 — dependence of FMM-stage performance on M_L.
+//
+// Paper: N=2^27, P=256, B=3, G=2, CD. Total flops grow with M_L (S2T is
+// O(M_L)) while the far field shrinks; the flop-optimal M_L is NOT the
+// time-optimal one because S2T's computational intensity also grows with
+// M_L. The paper's optimum is M_L = 64, higher than the flop-count optimum
+// of ~32 used by Edelman/Langston.
+//
+// Here: the same sweep — flops from the §5.1 counts, model time from the
+// Eq.-3 roofline, "measured" from the schedule simulation on 2xP100 — plus
+// a native sweep with real wall times at host scale.
+#include <complex>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/fmmfft.hpp"
+#include "dist/schedules.hpp"
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Figure 6: M_L dependence of the FMM stage",
+                      "Fig. 6 — N=2^27, P=256, B=3, G=2, CD");
+
+  const index_t n = index_t(1) << 27;
+  const int g = 2;
+  const auto arch = model::p100_nvlink(g);
+  const model::Workload w{n, true, true};
+
+  Table t({"ML", "L", "FMM ops [GFlop]", "model [ms]", "simulated [ms]"});
+  double best_flops_ml = 0, best_flops = 1e300;
+  double best_time_ml = 0, best_time = 1e300;
+  for (index_t ml = 1; ml <= 1024; ml *= 2) {
+    fmm::Params prm{n, 256, ml, 3, 16};
+    if (!prm.is_admissible(g)) continue;
+    const double flops = model::paper_fmm_flops(prm, w.c(), g);
+    const double model_t = model::fmm_stage_seconds(prm, w, arch, false);
+    // Simulated FMM-only time: schedule the full pipeline and take the
+    // FMM-stage busy time per device.
+    auto res = dist::fmmfft_schedule(prm, w, g).simulate(arch);
+    double meas = 0;
+    for (const auto& [label, sec] : res.label_seconds)
+      if (label.rfind("FFT-", 0) != 0 && label.rfind("A2A", 0) != 0 &&
+          label.rfind("COMM", 0) != 0 && label != "POST" &&
+          label.find("arrive") == std::string::npos)
+        meas += sec;
+    meas /= g;
+    if (flops < best_flops) {
+      best_flops = flops;
+      best_flops_ml = double(ml);
+    }
+    if (meas < best_time) {
+      best_time = meas;
+      best_time_ml = double(ml);
+    }
+    t.row()
+        .col((long long)ml)
+        .col(prm.l())
+        .col(flops / 1e9, 1)
+        .col(model_t * 1e3, 1)
+        .col(meas * 1e3, 1);
+  }
+  t.print();
+  std::printf("flop-optimal ML = %.0f, time-optimal ML = %.0f "
+              "(paper: time optimum at ML=64 > flop optimum ~32)\n",
+              best_flops_ml, best_time_ml);
+
+  std::printf("\nnative sweep (N=2^20, P=64, B=3, real wall times):\n");
+  Table tn({"ML", "FMM ops [GFlop]", "measured [ms]"});
+  const index_t nn = index_t(1) << 20;
+  for (index_t ml = 2; ml <= 256; ml *= 2) {
+    fmm::Params prm{nn, 64, ml, 3, 16};
+    if (!prm.is_admissible(1)) continue;
+    std::vector<std::complex<double>> x((std::size_t)nn), y(x.size());
+    fill_uniform(x.data(), nn, ml);
+    core::FmmFft<std::complex<double>> plan(prm);
+    plan.execute(x.data(), y.data());
+    tn.row()
+        .col((long long)ml)
+        .col(plan.profile().fmm_flops() / 1e9, 2)
+        .col(plan.profile().fmm_seconds() * 1e3, 1);
+  }
+  tn.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7 — dependence of performance on P (the number of FMMs).
+//
+// Paper: N=2^27, M_L=64, B=3, G=2, CD, P swept 2^2..2^18. The FMM stage is
+// nearly flat in P (doubling P doubles per-contraction work but removes a
+// tree level); the visible effects are (i) small P degrades the 2D FFT
+// (large aspect ratio ~3x slower; cuFFTXT rejects dims < 32) and (ii)
+// P=32's small GEMM rows (62) degrade BatchedGEMM slightly.
+//
+// Here: flops, model time, simulated FMM time, and simulated 2D-FFT time
+// per P on 2xP100, plus a native sweep at host scale.
+#include <complex>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/fmmfft.hpp"
+#include "dist/schedules.hpp"
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Figure 7: P dependence of the FMM stage and 2D FFT",
+                      "Fig. 7 — N=2^27, ML=64, B=3, G=2, CD");
+
+  const index_t n = index_t(1) << 27;
+  const int g = 2;
+  const auto arch = model::p100_nvlink(g);
+  const model::Workload w{n, true, true};
+
+  Table t({"P", "M", "FMM ops [GFlop]", "FMM model [ms]", "FMM sim [ms]", "2D FFT sim [ms]"});
+  for (index_t p = 4; p <= (index_t(1) << 18); p *= 4) {
+    fmm::Params prm{n, p, 64, 3, 16};
+    if (!prm.is_admissible(g)) continue;
+    const double flops = model::paper_fmm_flops(prm, w.c(), g);
+    const double model_t = model::fmm_stage_seconds(prm, w, arch, false);
+    auto res = dist::fmmfft_schedule(prm, w, g).simulate(arch);
+    double fmm_sim = 0;
+    for (const auto& [label, sec] : res.label_seconds)
+      if (label.rfind("FFT-", 0) != 0 && label.rfind("A2A", 0) != 0 &&
+          label.rfind("COMM", 0) != 0 && label != "POST" &&
+          label.find("arrive") == std::string::npos)
+        fmm_sim += sec;
+    const double fft2d = dist::dist2dfft_schedule(prm.m(), p, w, g).simulate(arch).total_seconds;
+    t.row()
+        .col((long long)p)
+        .col((long long)prm.m())
+        .col(flops / 1e9, 1)
+        .col(model_t * 1e3, 1)
+        .col(fmm_sim / g * 1e3, 1)
+        .col(fft2d * 1e3, 1);
+  }
+  t.print();
+  std::printf("expected shape (paper): FMM time nearly flat in P; extreme aspect ratios\n"
+              "degrade the 2D FFT; the paper's library also rejects 2D dims < 32.\n");
+
+  std::printf("\nnative sweep (N=2^18, ML=8, B=3, real wall times):\n");
+  Table tn({"P", "FMM ops [GFlop]", "FMM measured [ms]", "2D FFT measured [ms]"});
+  const index_t nn = index_t(1) << 18;
+  for (index_t p = 32; p <= 4096; p *= 2) {
+    fmm::Params prm{nn, p, 8, 3, 16};
+    if (!prm.is_admissible(1)) continue;
+    std::vector<std::complex<double>> x((std::size_t)nn), y(x.size());
+    fill_uniform(x.data(), nn, p);
+    core::FmmFft<std::complex<double>> plan(prm);
+    plan.execute(x.data(), y.data());
+    tn.row()
+        .col((long long)p)
+        .col(plan.profile().fmm_flops() / 1e9, 2)
+        .col(plan.profile().fmm_seconds() * 1e3, 1)
+        .col(plan.profile().fft_seconds * 1e3, 1);
+  }
+  tn.print();
+  return 0;
+}

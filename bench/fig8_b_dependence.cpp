@@ -1,0 +1,73 @@
+// Figure 8 — dependence of performance on the base level B.
+//
+// Paper: N=2^27, P=256, M_L=64, G=2, CD, B = 3..11. Raising B trades the
+// latency/communication-dominated top of the tree for a dense all-pairs
+// M2L after one allgather; only for B >= 11 do the extra base-level flops
+// start to hurt. Conclusion: B > 2 combats local-essential-tree
+// replication and latency "for free" at small/moderate G.
+//
+// Here: flops and model/simulated time per B on 2xP100, plus a native
+// sweep (real wall times, smaller N) confirming the flat region and the
+// eventual blow-up.
+#include <complex>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/fmmfft.hpp"
+#include "dist/schedules.hpp"
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Figure 8: base-level B dependence of the FMM stage",
+                      "Fig. 8 — N=2^27, P=256, ML=64, G=2, CD; B=3..11");
+
+  const index_t n = index_t(1) << 27;
+  const int g = 2;
+  const auto arch = model::p100_nvlink(g);
+  const model::Workload w{n, true, true};
+
+  Table t({"B", "base boxes", "FMM ops [GFlop]", "model [ms]", "simulated [ms]", "launches"});
+  for (int b = 3; b <= 11; ++b) {
+    fmm::Params prm{n, 256, 64, b, 16};
+    if (!prm.is_admissible(g)) continue;
+    const double flops = model::paper_fmm_flops(prm, w.c(), g);
+    const double model_t = model::fmm_stage_seconds(prm, w, arch, false);
+    auto sched = dist::fmmfft_schedule(prm, w, g);
+    auto res = sched.simulate(arch);
+    double fmm_sim = 0;
+    for (const auto& [label, sec] : res.label_seconds)
+      if (label.rfind("FFT-", 0) != 0 && label.rfind("A2A", 0) != 0 &&
+          label.rfind("COMM", 0) != 0 && label != "POST" &&
+          label.find("arrive") == std::string::npos)
+        fmm_sim += sec;
+    t.row()
+        .col(b)
+        .col((long long)prm.boxes(b))
+        .col(flops / 1e9, 1)
+        .col(model_t * 1e3, 1)
+        .col(fmm_sim / g * 1e3, 1)
+        .col((long long)sched.kernel_launches());
+  }
+  t.print();
+  std::printf("expected shape (paper): flat through B~10, the 2^B(2^B-3) base-level\n"
+              "flops only bite at B >= 11; fewer launches at higher B.\n");
+
+  std::printf("\nnative sweep (N=2^18, P=64, ML=4, L=10, real wall times):\n");
+  Table tn({"B", "FMM ops [GFlop]", "measured [ms]"});
+  const index_t nn = index_t(1) << 18;
+  for (int b = 2; b <= 9; ++b) {
+    fmm::Params prm{nn, 64, 4, b, 16};
+    if (!prm.is_admissible(1)) continue;
+    std::vector<std::complex<double>> x((std::size_t)nn), y(x.size());
+    fill_uniform(x.data(), nn, b);
+    core::FmmFft<std::complex<double>> plan(prm);
+    plan.execute(x.data(), y.data());
+    tn.row()
+        .col(b)
+        .col(plan.profile().fmm_flops() / 1e9, 2)
+        .col(plan.profile().fmm_seconds() * 1e3, 1);
+  }
+  tn.print();
+  return 0;
+}

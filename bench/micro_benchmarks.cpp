@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks for the substrates: GEMM, BatchedGEMM,
+// FFT plans, and the FMM engine's individual stages. These complement the
+// figure harnesses with statistically robust per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <cstring>
+
+#include "blas/blas.hpp"
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fmm/engine.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Buffer<double> a(n * n), b(n * n), c(n * n);
+  fill_uniform(a.data(), n * n, 1);
+  fill_uniform(b.data(), n * n, 2);
+  for (auto _ : state) {
+    blas::gemm<double>(blas::Op::N, blas::Op::N, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                       c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] =
+      benchmark::Counter(blas::gemm_flops(n, n, n) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedGemm(benchmark::State& state) {
+  const index_t n = state.range(0), batch = 64;
+  Buffer<double> a(n * n * batch), b(n * n * batch), c(n * n * batch);
+  fill_uniform(a.data(), a.size(), 1);
+  fill_uniform(b.data(), b.size(), 2);
+  for (auto _ : state) {
+    blas::gemm_strided_batched<double>(blas::Op::N, blas::Op::N, n, n, n, 1.0, a.data(), n,
+                                       n * n, b.data(), n, n * n, 0.0, c.data(), n, n * n,
+                                       batch);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] =
+      benchmark::Counter(batch * blas::gemm_flops(n, n, n) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedGemm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Fft1d(benchmark::State& state) {
+  const index_t n = index_t(1) << state.range(0);
+  fft::Plan1D<double> plan(n);
+  Buffer<std::complex<double>> x(n);
+  fill_uniform(x.data(), n, 3);
+  for (auto _ : state) {
+    plan.execute(x.data(), fft::Direction::Forward);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      fft::fft_flops(n) * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft1d)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_FmmStage(benchmark::State& state) {
+  // Full single-node FMM pipeline at a moderate size.
+  fmm::Params prm{1 << 16, 64, 8, 3, 16};
+  fmm::Engine<double> eng(prm, 2);
+  Buffer<std::complex<double>> x(prm.n);
+  fill_uniform(x.data(), prm.n, 4);
+  std::memcpy(eng.source_box(0), x.data(), sizeof(std::complex<double>) * prm.n);
+  for (auto _ : state) {
+    eng.reset_stats();
+    eng.run_single_node();
+    benchmark::DoNotOptimize(eng.target_box(0));
+  }
+  double flops = 0;
+  for (const auto& st : eng.stats()) flops += st.flops;
+  state.counters["GFlop/s"] =
+      benchmark::Counter(flops * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FmmStage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Multi-node projection — the paper's §7 outlook, quantified.
+//
+// "Extending the results to multiple nodes is necessary ... the performance
+// on multiple nodes is very likely to improve relative performance and
+// energy efficiency due to higher internode communication costs."
+//
+// This bench joins M copies of the 8xP100 node with EDR-InfiniBand-class
+// NICs (10 GB/s per direction, shared per node) and simulates the same
+// schedules. As the NIC becomes the bottleneck, the baseline's three
+// all-to-alls hurt 3x while the FMM-FFT pays once: the projected speedup
+// grows well past the single-node 2.1x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/schedules.hpp"
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Multi-node projection (paper §7 outlook)",
+                      "conclusion: internode costs should raise the FMM-FFT's advantage");
+
+  const index_t n = index_t(1) << 28;
+  const model::Workload w{n, true, true};
+
+  Table t({"nodes", "devices", "arch", "FMM-FFT [ms]", "1D FFT [ms]", "speedup"});
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    auto arch = nodes == 1 ? model::p100_nvlink(8)
+                           : model::multinode(model::p100_nvlink(8), nodes);
+    const int g = arch.num_devices;
+    fmm::Params prm;
+    try {
+      prm = model::search_best_params(n, g, w, arch, 16);
+    } catch (const Error&) {
+      continue;
+    }
+    const double t_fmm = dist::fmmfft_schedule(prm, w, g).simulate(arch).total_seconds;
+    const double t_base = dist::baseline1d_schedule(n, w, g).simulate(arch).total_seconds;
+    t.row()
+        .col(nodes)
+        .col(g)
+        .col(arch.name)
+        .col(t_fmm * 1e3, 2)
+        .col(t_base * 1e3, 2)
+        .col(t_base / t_fmm, 2);
+  }
+  t.print();
+  std::printf("expected shape: speedup grows with node count as the shared NICs make the\n"
+              "baseline's three transposes progressively more expensive than one.\n");
+  return 0;
+}

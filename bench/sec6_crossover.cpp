@@ -1,0 +1,54 @@
+// Section 6 in-text analysis — crossover ratios and model intensity.
+//
+// The paper computes: the theoretical crossover ratio
+// beta/min(gamma, beta·W/D) ≈ 0.031 byte/flop on P100 (vs Edelman's 0.036),
+// communication-to-flop ratios of ~0.0012 (K40c) and ~0.0009 (P100), and a
+// model intensity of 7.8 flop/byte for the double-precision FMM making the
+// stage slightly memory-bound (roofline peak 2.7 TFlop/s of 5 on P100).
+//
+// This bench evaluates the same quantities from our §5 counts and the
+// architecture presets, showing where the FMM-FFT sits on each roofline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "model/counts.hpp"
+
+int main() {
+  using namespace fmmfft;
+  bench::print_header("Section 6 analysis: crossover ratios and model intensity",
+                      "§6 in-text numbers (0.031 byte/flop crossover, 7.8 flop/byte intensity)");
+
+  const fmm::Params prm{index_t(1) << 27, 256, 64, 3, 16};
+
+  Table t({"system", "precision", "FMM intensity [flop/B]", "roofline rate [TF/s]",
+           "link/rate [B/flop]", "comm:flop of algorithm [B/flop]"});
+  for (auto arch : {model::k40c_pcie(2), model::p100_nvlink(2), model::p100_nvlink(8)}) {
+    for (bool dbl : {false, true}) {
+      const model::Workload w{prm.n, true, dbl};
+      const double wf = model::paper_fmm_flops(prm, w.c(), arch.num_devices);
+      const double d = model::paper_fmm_mops(prm, w.c(), arch.num_devices) * w.real_bytes();
+      const double intensity = wf / d;
+      const double rate = std::min(arch.gamma(dbl), arch.beta_mem * intensity);
+      // Algorithm's own comm volume per flop: one transpose + halos.
+      const double comm_bytes =
+          double(prm.n) / arch.num_devices * (arch.num_devices - 1.0) / arch.num_devices *
+              w.element_bytes() +
+          model::paper_fmm_comm(prm, w.c(), arch.num_devices).total() * w.real_bytes();
+      t.row()
+          .col(arch.name)
+          .col(dbl ? "double" : "float")
+          .col(intensity, 2)
+          .col(rate / 1e12, 2)
+          .col_sci(model::crossover_ratio(prm, w, arch))
+          .col_sci(comm_bytes / wf);
+    }
+  }
+  t.print();
+  std::printf(
+      "paper reference points: FMM model intensity ~7.8 flop/byte (double), putting\n"
+      "the P100 FMM at ~2.7 TF/s of its 5 TF/s double peak — slightly memory bound;\n"
+      "the true predictor of FMM-FFT success is the communication:memory-bandwidth\n"
+      "ratio, not communication:compute (§6).\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Command-line driver for the library: plan, execute, verify and time an
+// FMM-FFT from the shell — the artifact a downstream user scripts against.
+//
+//   fmmfft_cli --log2n 18 [--precision c64|c32|f64|f32] [--devices G]
+//              [--p P --ml ML --b B --q Q | --eps 1e-12]
+//              [--simulate 2xk40|2xp100|8xp100] [--seed S]
+//
+// Without explicit parameters the plan comes from the a-priori error model
+// (fmm::suggest_params). With --simulate, the run is also scheduled on the
+// chosen paper architecture and compared against the 1D-FFT baseline.
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/fmmfft.hpp"
+#include "core/reference.hpp"
+#include "dist/dfmmfft.hpp"
+#include "dist/schedules.hpp"
+#include "fmm/accuracy.hpp"
+#include "model/counts.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+struct Options {
+  int log2n = 16;
+  std::string precision = "c64";
+  int devices = 1;
+  index_t p = 0, ml = 0;
+  int b = 0, q = 0;
+  double eps = 1e-12;
+  std::string simulate;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --log2n K [--precision c64|c32|f64|f32] [--devices G]\n"
+      "          [--p P --ml ML --b B --q Q | --eps E]\n"
+      "          [--simulate 2xk40|2xp100|8xp100] [--seed S]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--log2n")) o.log2n = std::atoi(need("--log2n"));
+    else if (!std::strcmp(argv[i], "--precision")) o.precision = need("--precision");
+    else if (!std::strcmp(argv[i], "--devices")) o.devices = std::atoi(need("--devices"));
+    else if (!std::strcmp(argv[i], "--p")) o.p = std::atoll(need("--p"));
+    else if (!std::strcmp(argv[i], "--ml")) o.ml = std::atoll(need("--ml"));
+    else if (!std::strcmp(argv[i], "--b")) o.b = std::atoi(need("--b"));
+    else if (!std::strcmp(argv[i], "--q")) o.q = std::atoi(need("--q"));
+    else if (!std::strcmp(argv[i], "--eps")) o.eps = std::atof(need("--eps"));
+    else if (!std::strcmp(argv[i], "--simulate")) o.simulate = need("--simulate");
+    else if (!std::strcmp(argv[i], "--seed")) o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else usage(argv[0]);
+  }
+  if (o.log2n < 10 || o.log2n > 26) {
+    std::printf("--log2n must be in [10, 26] for native execution\n");
+    std::exit(2);
+  }
+  return o;
+}
+
+template <typename InT>
+int run(const Options& o) {
+  using Real = real_of_t<InT>;
+  using Out = std::complex<Real>;
+  const index_t n = index_t(1) << o.log2n;
+
+  fmm::Params prm;
+  if (o.p > 0) {
+    prm = fmm::Params{n, o.p, o.ml, o.b, o.q};
+    prm.validate_distributed(o.devices);
+  } else {
+    prm = fmm::suggest_params(n, o.eps, o.devices);
+  }
+  std::printf("plan: %s  devices=%d  precision=%s\n", prm.to_string().c_str(), o.devices,
+              o.precision.c_str());
+  std::printf("predicted rel l2 error: %.1e\n",
+              fmm::predict_rel_error(prm.q, sizeof(Real) == 8));
+
+  std::vector<InT> x(static_cast<std::size_t>(n));
+  fill_uniform(x.data(), n, o.seed);
+  std::vector<Out> y(static_cast<std::size_t>(n));
+
+  WallTimer t;
+  if (o.devices > 1) {
+    dist::DistFmmFft<InT> plan(prm, o.devices);
+    const double setup = t.seconds();
+    t.reset();
+    plan.execute(x.data(), y.data());
+    std::printf("setup %.1f ms, execute %.1f ms, comm %.2f MB over the fabric\n", setup * 1e3,
+                t.seconds() * 1e3, plan.fabric().total_bytes() / 1e6);
+  } else {
+    core::FmmFft<InT> plan(prm);
+    const double setup = t.seconds();
+    t.reset();
+    plan.execute(x.data(), y.data());
+    std::printf("setup %.1f ms, execute %.1f ms (FMM %.1f ms in %lld launches, 2D FFT %.1f ms)\n",
+                setup * 1e3, t.seconds() * 1e3, plan.profile().fmm_seconds() * 1e3,
+                (long long)plan.profile().kernel_launches(), plan.profile().fft_seconds * 1e3);
+  }
+
+  // Verify against the exact transform in double precision.
+  std::vector<std::complex<double>> xd(x.size()), ref(x.size()), yd(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if constexpr (is_complex_v<InT>)
+      xd[i] = {double(x[i].real()), double(x[i].imag())};
+    else
+      xd[i] = {double(x[i]), 0.0};
+    yd[i] = {double(y[i].real()), double(y[i].imag())};
+  }
+  core::exact_fft(n, xd.data(), ref.data());
+  const double err = rel_l2_error(yd.data(), ref.data(), n);
+  std::printf("measured rel l2 error: %.2e\n", err);
+
+  if (!o.simulate.empty()) {
+    model::ArchParams arch = o.simulate == "2xk40"    ? model::k40c_pcie(2)
+                             : o.simulate == "8xp100" ? model::p100_nvlink(8)
+                                                      : model::p100_nvlink(2);
+    const model::Workload w{n, is_complex_v<InT>, sizeof(Real) == 8};
+    const double tf = dist::fmmfft_schedule(prm, w, arch.num_devices)
+                          .simulate(arch)
+                          .total_seconds;
+    const double tb =
+        dist::baseline1d_schedule(n, w, arch.num_devices).simulate(arch).total_seconds;
+    std::printf("simulated on %s: FMM-FFT %.3f ms vs 1D FFT %.3f ms -> speedup %.2fx\n",
+                arch.name.c_str(), tf * 1e3, tb * 1e3, tb / tf);
+  }
+  return err < fmm::predict_rel_error(prm.q, sizeof(Real) == 8) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.precision == "c64") return run<std::complex<double>>(o);
+  if (o.precision == "c32") return run<std::complex<float>>(o);
+  if (o.precision == "f64") return run<double>(o);
+  if (o.precision == "f32") return run<float>(o);
+  usage(argv[0]);
+}

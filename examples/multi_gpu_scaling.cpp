@@ -1,0 +1,66 @@
+// Multi-device scaling of the FMM-FFT on the simulated fabric.
+//
+// Runs the distributed FMM-FFT for G = 1, 2, 4, 8 devices on the same
+// input, confirms all device counts produce the same (correct) transform,
+// compares the communication ledger against the three-transpose baseline,
+// and reports simulated wall times under the paper's 8xP100 architecture.
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/reference.hpp"
+#include "dist/dfft.hpp"
+#include "dist/dfmmfft.hpp"
+#include "dist/schedules.hpp"
+
+int main() {
+  using namespace fmmfft;
+  using Cx = std::complex<double>;
+
+  const index_t n = 1 << 20;
+  const fmm::Params params{n, 64, 32, 3, 18};
+  std::vector<Cx> x(static_cast<std::size_t>(n)), ref(x.size());
+  fill_uniform(x.data(), n, 11);
+  core::exact_fft(n, x.data(), ref.data());
+
+  std::printf("distributed FMM-FFT, %s\n\n", params.to_string().c_str());
+  Table t({"G", "rel l2 error", "FMM-FFT comm [MB]", "baseline comm [MB]", "comm ratio",
+           "sim t(FMM-FFT) [ms]", "sim t(1D FFT) [ms]", "sim speedup"});
+  for (int g : {1, 2, 4, 8}) {
+    if (!params.is_admissible(g)) continue;
+    dist::DistFmmFft<Cx> plan(params, g);
+    std::vector<Cx> y(x.size());
+    plan.execute(x.data(), y.data());
+    const double err = rel_l2_error(y.data(), ref.data(), n);
+
+    dist::DistFft1d<double> base(n, g);
+    std::vector<Cx> yb(x.size());
+    base.execute(x.data(), yb.data());
+
+    const double fmm_mb = plan.fabric().total_bytes() / 1e6;
+    const double base_mb = base.fabric().total_bytes() / 1e6;
+
+    const model::Workload w{n, true, true};
+    auto arch = model::p100_nvlink(g);
+    const double t_fmm = dist::fmmfft_schedule(params, w, g).simulate(arch).total_seconds;
+    const double t_base = dist::baseline1d_schedule(n, w, g).simulate(arch).total_seconds;
+
+    t.row()
+        .col(g)
+        .col_sci(err)
+        .col(fmm_mb, 2)
+        .col(base_mb, 2)
+        .col(g > 1 ? fmm_mb / base_mb : 0.0, 2)
+        .col(t_fmm * 1e3, 3)
+        .col(t_base * 1e3, 3)
+        .col(g > 1 ? t_base / t_fmm : 1.0, 2);
+  }
+  t.print();
+  std::printf("\nevery G produces the same in-order transform; the FMM-FFT replaces three\n"
+              "transposes with one plus fixed-size halos, so its share of the baseline's\n"
+              "bytes falls toward 1/3 as N grows (the halo volume is independent of N).\n");
+  return 0;
+}

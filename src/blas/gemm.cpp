@@ -1,0 +1,217 @@
+// Blocked, packed GEMM with a register-tiled microkernel.
+//
+// The classic three-level blocking (GotoBLAS structure): panels of A are
+// packed into row-major micropanels of height MR, panels of B into
+// column-major micropanels of width NR, and an MR×NR register microkernel
+// runs over the packed data. Edges are zero-padded in the packs so the
+// microkernel is branch-free; stores mask the valid region.
+#include "blas/blas.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/threadpool.hpp"
+
+namespace fmmfft::blas {
+namespace {
+
+// Blocking parameters sized for a ~32KB L1 / 1MB L2 class core.
+constexpr index_t MR = 8;
+constexpr index_t NR = 4;
+constexpr index_t MC = 64;
+constexpr index_t NC = 256;
+constexpr index_t KC = 256;
+
+template <typename T>
+inline T at(const T* a, index_t lda, Op trans, index_t i, index_t j) {
+  // Element (i, j) of op(A) given the raw column-major storage of A.
+  return trans == Op::N ? a[i + j * lda] : a[j + i * lda];
+}
+
+/// Pack an mc×kc block of op(A) into micropanels: panel p holds rows
+/// [p*MR, p*MR+MR) for all k, contiguous as [k*MR + r]. Rows past mc are 0.
+template <typename T>
+void pack_a(const T* a, index_t lda, Op trans, index_t i0, index_t k0, index_t mc, index_t kc,
+            T* pack) {
+  index_t np = ceil_div(mc, MR);
+  for (index_t p = 0; p < np; ++p) {
+    T* dst = pack + p * MR * kc;
+    index_t rbase = p * MR;
+    for (index_t k = 0; k < kc; ++k)
+      for (index_t r = 0; r < MR; ++r) {
+        index_t i = rbase + r;
+        dst[k * MR + r] = i < mc ? at(a, lda, trans, i0 + i, k0 + k) : T(0);
+      }
+  }
+}
+
+/// Pack a kc×nc block of op(B) into micropanels: panel q holds cols
+/// [q*NR, q*NR+NR) for all k, contiguous as [k*NR + c]. Cols past nc are 0.
+template <typename T>
+void pack_b(const T* b, index_t ldb, Op trans, index_t k0, index_t j0, index_t kc, index_t nc,
+            T* pack) {
+  index_t nq = ceil_div(nc, NR);
+  for (index_t q = 0; q < nq; ++q) {
+    T* dst = pack + q * NR * kc;
+    index_t cbase = q * NR;
+    for (index_t k = 0; k < kc; ++k)
+      for (index_t c = 0; c < NR; ++c) {
+        index_t j = cbase + c;
+        dst[k * NR + c] = j < nc ? at(b, ldb, trans, k0 + k, j0 + j) : T(0);
+      }
+  }
+}
+
+/// MR×NR microkernel over packed panels: acc = sum_k apanel[k]·bpanel[k]^T,
+/// then C[valid] += alpha * acc (C was pre-scaled by beta once per gemm).
+template <typename T>
+void microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc, index_t mr,
+                 index_t nr) {
+  T acc[MR * NR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* a = ap + k * MR;
+    const T* b = bp + k * NR;
+    for (index_t j = 0; j < NR; ++j) {
+      T bj = b[j];
+      for (index_t i = 0; i < MR; ++i) acc[i + j * MR] += a[i] * bj;
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (index_t j = 0; j < NR; ++j)
+      for (index_t i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
+  } else {
+    for (index_t j = 0; j < nr; ++j)
+      for (index_t i = 0; i < mr; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
+  }
+}
+
+template <typename T>
+struct Workspace {
+  Buffer<T> apack{MC * KC};
+  Buffer<T> bpack{KC * NC};
+};
+
+/// Thread-local pack buffers: GEMMs of one scalar type reuse the workspace
+/// across calls, which matters for the many small batched GEMMs in the FMM.
+template <typename T>
+Workspace<T>& workspace() {
+  thread_local Workspace<T> ws;
+  return ws;
+}
+
+template <typename T>
+void gemm_impl(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const T* a,
+               index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  FMMFFT_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+
+  // Scale C by beta once, so inner kernels are pure accumulate.
+  if (beta == T(0)) {
+    for (index_t j = 0; j < n; ++j) std::fill_n(c + j * ldc, m, T(0));
+  } else if (beta != T(1)) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) c[i + j * ldc] *= beta;
+  }
+  if (k == 0 || alpha == T(0)) return;
+
+  auto& ws = workspace<T>();
+  for (index_t j0 = 0; j0 < n; j0 += NC) {
+    index_t nc = std::min(NC, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += KC) {
+      index_t kc = std::min(KC, k - k0);
+      pack_b(b, ldb, transb, k0, j0, kc, nc, ws.bpack.data());
+      for (index_t i0 = 0; i0 < m; i0 += MC) {
+        index_t mc = std::min(MC, m - i0);
+        pack_a(a, lda, transa, i0, k0, mc, kc, ws.apack.data());
+        index_t np = ceil_div(mc, MR), nq = ceil_div(nc, NR);
+        for (index_t q = 0; q < nq; ++q) {
+          index_t nr = std::min(NR, nc - q * NR);
+          for (index_t p = 0; p < np; ++p) {
+            index_t mr = std::min(MR, mc - p * MR);
+            microkernel(kc, alpha, ws.apack.data() + p * MR * kc,
+                        ws.bpack.data() + q * NR * kc,
+                        c + (i0 + p * MR) + (j0 + q * NR) * ldc, ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const T* a,
+          index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+template <typename T>
+void gemm_strided_batched(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha,
+                          const T* a, index_t lda, index_t stride_a, const T* b, index_t ldb,
+                          index_t stride_b, T beta, T* c, index_t ldc, index_t stride_c,
+                          index_t batch_count) {
+  FMMFFT_CHECK(batch_count >= 0);
+  // Problem instances are independent; share them across the pool (each
+  // worker has its own thread-local pack workspace).
+  parallel_for(
+      batch_count,
+      [&](index_t g0, index_t g1) {
+        for (index_t g = g0; g < g1; ++g)
+          gemm_impl(transa, transb, m, n, k, alpha, a + g * stride_a, lda, b + g * stride_b,
+                    ldb, beta, c + g * stride_c, ldc);
+      },
+      /*grain=*/1);
+}
+
+template <typename T>
+void gemv(Op trans, index_t m, index_t n, T alpha, const T* a, index_t lda, const T* x,
+          index_t incx, T beta, T* y, index_t incy) {
+  // op(A) is m×n. Row/column traversal is picked so A is streamed in order.
+  if (trans == Op::N) {
+    // BLAS semantics: beta == 0 means y is write-only (never read).
+    for (index_t i = 0; i < m; ++i) y[i * incy] = beta == T(0) ? T(0) : y[i * incy] * beta;
+    for (index_t j = 0; j < n; ++j) {
+      T xj = alpha * x[j * incx];
+      const T* col = a + j * lda;
+      for (index_t i = 0; i < m; ++i) y[i * incy] += col[i] * xj;
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      const T* col = a + i * lda;  // row i of op(A) = column i of A
+      T s = 0;
+      for (index_t j = 0; j < n; ++j) s += col[j] * x[j * incx];
+      y[i * incy] = alpha * s + (beta == T(0) ? T(0) : beta * y[i * incy]);
+    }
+  }
+}
+
+template <typename T>
+void gemm_reference(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const T* a,
+                    index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      T s = 0;
+      for (index_t l = 0; l < k; ++l) s += at(a, lda, transa, i, l) * at(b, ldb, transb, l, j);
+      c[i + j * ldc] = alpha * s + beta * c[i + j * ldc];
+    }
+}
+
+#define FMMFFT_INSTANTIATE_BLAS(T)                                                             \
+  template void gemm<T>(Op, Op, index_t, index_t, index_t, T, const T*, index_t, const T*,     \
+                        index_t, T, T*, index_t);                                              \
+  template void gemm_strided_batched<T>(Op, Op, index_t, index_t, index_t, T, const T*,        \
+                                        index_t, index_t, const T*, index_t, index_t, T, T*,   \
+                                        index_t, index_t, index_t);                            \
+  template void gemv<T>(Op, index_t, index_t, T, const T*, index_t, const T*, index_t, T, T*,  \
+                        index_t);                                                              \
+  template void gemm_reference<T>(Op, Op, index_t, index_t, index_t, T, const T*, index_t,     \
+                                  const T*, index_t, T, T*, index_t);
+
+FMMFFT_INSTANTIATE_BLAS(float)
+FMMFFT_INSTANTIATE_BLAS(double)
+
+}  // namespace fmmfft::blas

@@ -1,0 +1,89 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fmmfft::blas {
+
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, index_t incx, T* y, index_t incy) {
+  if (alpha == T(0)) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+template <typename T>
+void scal(index_t n, T alpha, T* x, index_t incx) {
+  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+template <typename T>
+void copy(index_t n, const T* x, index_t incx, T* y, index_t incy) {
+  for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+template <typename T>
+T dot(index_t n, const T* x, index_t incx, const T* y, index_t incy) {
+  T s = 0;
+  for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  return s;
+}
+
+template <typename T>
+T nrm2(index_t n, const T* x, index_t incx) {
+  // Scaled accumulation (LAPACK dnrm2 style) to avoid overflow/underflow.
+  T scale = 0, ssq = 1;
+  for (index_t i = 0; i < n; ++i) {
+    const T v = std::abs(x[i * incx]);
+    if (v == T(0)) continue;
+    if (scale < v) {
+      const T r = scale / v;
+      ssq = T(1) + ssq * r * r;
+      scale = v;
+    } else {
+      const T r = v / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+template <typename T>
+T asum(index_t n, const T* x, index_t incx) {
+  T s = 0;
+  for (index_t i = 0; i < n; ++i) s += std::abs(x[i * incx]);
+  return s;
+}
+
+template <typename T>
+index_t iamax(index_t n, const T* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  T bv = std::abs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const T v = std::abs(x[i * incx]);
+    if (v > bv) {
+      bv = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+#define FMMFFT_INSTANTIATE_L1(T)                                           \
+  template void axpy<T>(index_t, T, const T*, index_t, T*, index_t);       \
+  template void scal<T>(index_t, T, T*, index_t);                          \
+  template void copy<T>(index_t, const T*, index_t, T*, index_t);          \
+  template T dot<T>(index_t, const T*, index_t, const T*, index_t);        \
+  template T nrm2<T>(index_t, const T*, index_t);                          \
+  template T asum<T>(index_t, const T*, index_t);                          \
+  template index_t iamax<T>(index_t, const T*, index_t);
+
+FMMFFT_INSTANTIATE_L1(float)
+FMMFFT_INSTANTIATE_L1(double)
+
+}  // namespace fmmfft::blas

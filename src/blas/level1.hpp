@@ -1,0 +1,39 @@
+// Level-1 BLAS operations rounding out the substrate: vector update,
+// scaling, reductions. Used by the post-processing stage, accuracy
+// utilities, and available to library users.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fmmfft::blas {
+
+/// y := alpha * x + y.
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, index_t incx, T* y, index_t incy);
+
+/// x := alpha * x.
+template <typename T>
+void scal(index_t n, T alpha, T* x, index_t incx);
+
+/// y := x.
+template <typename T>
+void copy(index_t n, const T* x, index_t incx, T* y, index_t incy);
+
+/// Returns sum_i x_i * y_i.
+template <typename T>
+T dot(index_t n, const T* x, index_t incx, const T* y, index_t incy);
+
+/// Returns the Euclidean norm ||x||_2 (overflow-safe scaled accumulation).
+template <typename T>
+T nrm2(index_t n, const T* x, index_t incx);
+
+/// Returns sum_i |x_i|.
+template <typename T>
+T asum(index_t n, const T* x, index_t incx);
+
+/// Returns the index of the first element of maximum absolute value
+/// (0-based), or -1 for empty input.
+template <typename T>
+index_t iamax(index_t n, const T* x, index_t incx);
+
+}  // namespace fmmfft::blas

@@ -1,0 +1,90 @@
+// Cache-line/SIMD aligned heap buffers. The BLAS and FFT substrates assume
+// 64-byte alignment of all operand storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// std-compatible aligned allocator (64-byte).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t(kAlignment));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete[](p, std::align_val_t(kAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Fixed-size aligned buffer of trivially-copyable scalars, zero-initialized.
+/// Movable, non-copyable: the library treats buffers as owned workspaces.
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(index_t n) : n_(n) {
+    FMMFFT_CHECK(n >= 0);
+    if (n > 0) {
+      data_.reset(static_cast<T*>(::operator new[](static_cast<std::size_t>(n) * sizeof(T),
+                                                   std::align_val_t(kAlignment))));
+      std::uninitialized_value_construct_n(data_.get(), static_cast<std::size_t>(n));
+    }
+  }
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  index_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](index_t i) {
+    FMMFFT_ASSERT(i >= 0 && i < n_);
+    return data_.get()[i];
+  }
+  const T& operator[](index_t i) const {
+    FMMFFT_ASSERT(i >= 0 && i < n_);
+    return data_.get()[i];
+  }
+  T* begin() { return data_.get(); }
+  T* end() { return data_.get() + n_; }
+  const T* begin() const { return data_.get(); }
+  const T* end() const { return data_.get() + n_; }
+
+  void fill(const T& v) {
+    for (index_t i = 0; i < n_; ++i) data_.get()[i] = v;
+  }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const { ::operator delete[](p, std::align_val_t(kAlignment)); }
+  };
+  std::unique_ptr<T[], Deleter> data_;
+  index_t n_ = 0;
+};
+
+}  // namespace fmmfft

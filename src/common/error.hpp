@@ -1,0 +1,52 @@
+// Error handling: checked preconditions that throw std::runtime_error with
+// context. Used for API argument validation (always on) and internal
+// invariants (on in debug builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fmmfft {
+
+/// Exception thrown on violated API preconditions and invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << cond << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+// Always-on check for user-facing API preconditions.
+#define FMMFFT_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) ::fmmfft::detail::throw_error(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define FMMFFT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::fmmfft::detail::throw_error(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                       \
+  } while (0)
+
+// Internal invariant; compiled out in release builds.
+#ifdef NDEBUG
+#define FMMFFT_ASSERT(cond) ((void)0)
+#else
+#define FMMFFT_ASSERT(cond) FMMFFT_CHECK(cond)
+#endif
+
+}  // namespace fmmfft

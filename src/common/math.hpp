@@ -1,0 +1,62 @@
+// Small math helpers: constants, power-of-two bit tricks, cotangent, and
+// integer ceiling division used throughout the flop/mop/comm models.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+template <typename T>
+inline constexpr T pi_v = T(3.14159265358979323846264338327950288L);
+
+constexpr bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// floor(log2(n)) for n >= 1.
+constexpr int ilog2(std::int64_t n) {
+  FMMFFT_ASSERT(n >= 1);
+  return 63 - std::countl_zero(static_cast<std::uint64_t>(n));
+}
+
+/// Exact log2 for powers of two.
+constexpr int ilog2_exact(std::int64_t n) {
+  FMMFFT_ASSERT(is_pow2(n));
+  return ilog2(n);
+}
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// Euclidean (always non-negative) modulus.
+constexpr std::int64_t mod(std::int64_t a, std::int64_t m) {
+  std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+template <typename T>
+inline T cot(T x) {
+  return T(1) / std::tan(x);
+}
+
+/// Relative l2 error ||a - b|| / ||b|| over two ranges of equal length.
+template <typename T>
+double rel_l2_error(const T* a, const T* b, std::int64_t n) {
+  long double num = 0, den = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if constexpr (is_complex_v<T>) {
+      num += std::norm(std::complex<long double>(a[i]) - std::complex<long double>(b[i]));
+      den += std::norm(std::complex<long double>(b[i]));
+    } else {
+      long double d = (long double)a[i] - (long double)b[i];
+      num += d * d;
+      den += (long double)b[i] * (long double)b[i];
+    }
+  }
+  if (den == 0) return num == 0 ? 0.0 : 1.0;
+  return (double)std::sqrt(num / den);
+}
+
+}  // namespace fmmfft

@@ -1,0 +1,45 @@
+// Block-to-cyclic permutations Π_{M,P} from the radix-split and FMM-FFT
+// factorizations (§3):
+//
+//   Π_{M,P} ê_{p + m·P} = ê_{m + p·M},   0 ≤ p < P, 0 ≤ m < M
+//
+// i.e. as an action on a length-N vector, (Π_{M,P} x)[m + p·M] = x[p + m·P]:
+// a "gather by stride P" that converts p-major interleaved data into
+// m-major blocked data. In the distributed setting this permutation *is*
+// the all-to-all transpose.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+/// y := Π_{M,P} x (out-of-place). y[m + p*M] = x[p + m*P]. N = M*P.
+template <typename T>
+void permute_mp(const T* x, T* y, index_t m_dim, index_t p_dim) {
+  FMMFFT_CHECK(x != y);
+  for (index_t m = 0; m < m_dim; ++m)
+    for (index_t p = 0; p < p_dim; ++p) y[m + p * m_dim] = x[p + m * p_dim];
+}
+
+/// y := Π_{P,M} x, the inverse of Π_{M,P}.
+template <typename T>
+void permute_pm(const T* x, T* y, index_t m_dim, index_t p_dim) {
+  permute_mp(x, y, p_dim, m_dim);
+}
+
+/// Cache-blocked transpose of an r×c column-major matrix into a c×r one.
+/// permute_mp(x, y, M, P) == transpose of the P×M matrix view of x.
+template <typename T>
+void transpose_blocked(const T* x, T* y, index_t rows, index_t cols) {
+  FMMFFT_CHECK(x != y);
+  constexpr index_t kB = 32;
+  for (index_t j0 = 0; j0 < cols; j0 += kB)
+    for (index_t i0 = 0; i0 < rows; i0 += kB) {
+      index_t j1 = std::min(j0 + kB, cols), i1 = std::min(i0 + kB, rows);
+      for (index_t j = j0; j < j1; ++j)
+        for (index_t i = i0; i < i1; ++i) y[j + i * cols] = x[i + j * rows];
+    }
+}
+
+}  // namespace fmmfft

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random input generation for tests and benches.
+// The paper's accuracy experiments draw each component uniformly in [-1, 1]
+// (§6.3.4); `fill_uniform` reproduces that workload.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+/// Small, fast, reproducible generator (xorshift128+). Not for cryptography;
+/// chosen so test inputs are identical across platforms and runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ^ 0x853C49E6748FEA9Bull;
+    s1_ = seed * 0xC2B2AE3D27D4EB4Full + 1;
+    for (int i = 0; i < 8; ++i) next_u64();
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = s0_, y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [-1, 1).
+  double uniform_sym() {
+    return (double)(next_u64() >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform01() { return (double)(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  std::uint64_t s0_, s1_;
+};
+
+template <typename T>
+void fill_uniform(T* data, index_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    if constexpr (is_complex_v<T>) {
+      using R = real_of_t<T>;
+      data[i] = T(static_cast<R>(rng.uniform_sym()), static_cast<R>(rng.uniform_sym()));
+    } else {
+      data[i] = static_cast<T>(rng.uniform_sym());
+    }
+  }
+}
+
+}  // namespace fmmfft

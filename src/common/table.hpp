@@ -1,0 +1,78 @@
+// ASCII table printer used by the benchmark harnesses to emit the paper's
+// tables/series in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fmmfft {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Begin a new row; subsequent `col` calls fill it left to right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& col(const std::string& v) {
+    FMMFFT_CHECK(!rows_.empty());
+    rows_.back().push_back(v);
+    return *this;
+  }
+  Table& col(const char* v) { return col(std::string(v)); }
+  Table& col(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return col(os.str());
+  }
+  Table& col_sci(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return col(os.str());
+  }
+  Table& col(long long v) { return col(std::to_string(v)); }
+  Table& col(int v) { return col(std::to_string(v)); }
+  Table& col(std::int64_t v) { return col(std::to_string(v)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+
+    auto line = [&] {
+      os << "+";
+      for (auto ww : w) os << std::string(ww + 2, '-') << "+";
+      os << "\n";
+    };
+    auto prow = [&](const std::vector<std::string>& r) {
+      os << "|";
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        std::string v = c < r.size() ? r[c] : "";
+        os << " " << std::setw((int)w[c]) << v << " |";
+      }
+      os << "\n";
+    };
+    line();
+    prow(headers_);
+    line();
+    for (const auto& r : rows_) prow(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fmmfft

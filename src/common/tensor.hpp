@@ -1,0 +1,85 @@
+// Generalized column-major tensor views in the paper's notation (§4.1).
+//
+// A TensorView<T, R> wraps non-owning storage with R dimensions where the
+// leading dimension of mode i is the product of the dimensions of all
+// previous modes ("compact" layout):  ld<i> = dim<0> * ... * dim<i-1>.
+// Index 0 is the fastest-varying mode, matching `A_{pmb}` style subscripts
+// with p fastest.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+template <typename T, int R>
+class TensorView {
+ public:
+  TensorView() = default;
+
+  TensorView(T* data, std::array<index_t, R> dims) : data_(data), dims_(dims) {
+    index_t ld = 1;
+    for (int i = 0; i < R; ++i) {
+      FMMFFT_CHECK(dims_[i] >= 0);
+      ld_[i] = ld;
+      ld *= dims_[i];
+    }
+    size_ = ld;
+  }
+
+  T* data() const { return data_; }
+  index_t size() const { return size_; }
+  index_t dim(int i) const {
+    FMMFFT_ASSERT(i >= 0 && i < R);
+    return dims_[i];
+  }
+  index_t ld(int i) const {
+    FMMFFT_ASSERT(i >= 0 && i < R);
+    return ld_[i];
+  }
+
+  /// Linear offset of a multi-index. No bounds check beyond debug assert;
+  /// halo regions legitimately index one box past either end on mode R-1.
+  template <typename... Ix>
+  index_t offset(Ix... ix) const {
+    static_assert(sizeof...(Ix) == R);
+    std::array<index_t, R> idx{static_cast<index_t>(ix)...};
+    index_t off = 0;
+    for (int i = 0; i < R; ++i) off += idx[i] * ld_[i];
+    return off;
+  }
+
+  template <typename... Ix>
+  T& operator()(Ix... ix) const {
+    return data_[offset(ix...)];
+  }
+
+  /// Sub-view fixing the slowest mode at index `k`: returns rank R-1 view.
+  TensorView<T, R - 1> slice(index_t k) const {
+    static_assert(R >= 2);
+    std::array<index_t, R - 1> d{};
+    for (int i = 0; i < R - 1; ++i) d[i] = dims_[i];
+    return TensorView<T, R - 1>(data_ + k * ld_[R - 1], d);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::array<index_t, R> dims_{};
+  std::array<index_t, R> ld_{};
+  index_t size_ = 0;
+};
+
+template <typename T>
+using Tensor1 = TensorView<T, 1>;
+template <typename T>
+using Tensor2 = TensorView<T, 2>;
+template <typename T>
+using Tensor3 = TensorView<T, 3>;
+template <typename T>
+using Tensor4 = TensorView<T, 4>;
+
+}  // namespace fmmfft

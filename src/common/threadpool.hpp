@@ -1,0 +1,139 @@
+// Minimal work-sharing thread pool and parallel_for.
+//
+// The paper parallelizes the FMM's independent stages with CUDA streams
+// (§4.9); on the host the analogous intra-stage parallelism is loop-level.
+// The pool is opt-in: the default worker count comes from
+// FMMFFT_NUM_THREADS or hardware_concurrency, and `parallel_for` degrades
+// to a plain loop for one worker or tiny ranges, so single-core machines
+// pay nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    FMMFFT_CHECK(workers >= 1);
+    for (int i = 0; i + 1 < workers; ++i)  // worker 0 is the calling thread
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Run fn(chunk_index) for chunk_index in [0, chunks); blocks until all
+  /// chunks complete. fn must not throw.
+  void run_chunks(index_t chunks, const std::function<void(index_t)>& fn) {
+    if (chunks <= 0) return;
+    if (workers() == 1 || chunks == 1) {
+      for (index_t i = 0; i < chunks; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      next_ = 0;
+      total_ = chunks;
+      remaining_ = chunks;
+    }
+    cv_.notify_all();
+    help_and_wait();
+  }
+
+  /// The process-wide pool (size from FMMFFT_NUM_THREADS, default: all
+  /// hardware threads).
+  static ThreadPool& global() {
+    static ThreadPool pool(default_workers());
+    return pool;
+  }
+
+  static int default_workers() {
+    if (const char* env = std::getenv("FMMFFT_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }
+
+ private:
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [this] { return done_ || next_ < total_; });
+      if (done_) return;
+      drain(lk);
+    }
+  }
+
+  void help_and_wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    drain(lk);
+    cv_done_.wait(lk, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+
+  /// Pull chunk indices while any remain; called with the lock held.
+  void drain(std::unique_lock<std::mutex>& lk) {
+    while (next_ < total_) {
+      const index_t mine = next_++;
+      const auto* f = fn_;
+      lk.unlock();
+      (*f)(mine);
+      lk.lock();
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_, cv_done_;
+  const std::function<void(index_t)>* fn_ = nullptr;
+  index_t next_ = 0, total_ = 0, remaining_ = 0;
+  bool done_ = false;
+};
+
+/// Split [0, n) into roughly equal chunks and run body(begin, end) in
+/// parallel on the global pool. Grain controls the minimum chunk size.
+template <typename Body>
+void parallel_for(index_t n, const Body& body, index_t grain = 1024) {
+  if (n <= 0) return;
+  auto& pool = ThreadPool::global();
+  const index_t max_chunks = std::max<index_t>(1, n / std::max<index_t>(1, grain));
+  const index_t chunks = std::min<index_t>(pool.workers(), max_chunks);
+  if (chunks <= 1) {
+    body(index_t(0), n);
+    return;
+  }
+  const index_t step = (n + chunks - 1) / chunks;
+  std::function<void(index_t)> fn = [&](index_t c) {
+    const index_t b = c * step;
+    const index_t e = std::min(n, b + step);
+    if (b < e) body(b, e);
+  };
+  pool.run_chunks(chunks, fn);
+}
+
+}  // namespace fmmfft

@@ -1,0 +1,40 @@
+// Wall-clock timing utilities for native benchmarking.
+#pragma once
+
+#include <chrono>
+
+namespace fmmfft {
+
+/// Monotonic wall timer with seconds() since construction or last reset.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` elapse (and at least
+/// `min_reps` times), returning the best per-rep seconds. Benchmark helper.
+template <typename F>
+double time_best(F&& fn, int min_reps = 3, double min_seconds = 0.05) {
+  double best = 1e300;
+  int reps = 0;
+  WallTimer total;
+  while (reps < min_reps || total.seconds() < min_seconds) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+    ++reps;
+    if (reps > 1000) break;
+  }
+  return best;
+}
+
+}  // namespace fmmfft

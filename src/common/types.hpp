@@ -1,0 +1,79 @@
+// Scalar types and precision traits shared across the library.
+//
+// All FMM operators are real-valued; complex data is processed as an
+// array-of-structs flattened into real tensors (see DESIGN.md §5), so most
+// kernels are templated on the real scalar type only.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace fmmfft {
+
+using index_t = std::int64_t;
+
+template <typename T>
+inline constexpr bool is_real_scalar_v = std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+template <typename T>
+struct is_complex : std::false_type {};
+template <typename T>
+struct is_complex<std::complex<T>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_complex_v = is_complex<T>::value;
+
+/// Real scalar underlying T (identity for real T, value_type for complex T).
+template <typename T>
+struct real_of {
+  using type = T;
+};
+template <typename T>
+struct real_of<std::complex<T>> {
+  using type = T;
+};
+template <typename T>
+using real_of_t = typename real_of<T>::type;
+
+/// Number of real scalars per element: 1 for real input, 2 for complex.
+/// This is the paper's `C` parameter (§5.1).
+template <typename T>
+inline constexpr int components_v = is_complex_v<T> ? 2 : 1;
+
+/// Precision/type tags used for runtime dispatch in plans and benches.
+enum class Scalar { F32, F64, C32, C64 };
+
+inline const char* to_string(Scalar s) {
+  switch (s) {
+    case Scalar::F32: return "float";
+    case Scalar::F64: return "double";
+    case Scalar::C32: return "complex<float>";
+    case Scalar::C64: return "complex<double>";
+  }
+  return "?";
+}
+
+template <typename T>
+constexpr Scalar scalar_of() {
+  if constexpr (std::is_same_v<T, float>) return Scalar::F32;
+  if constexpr (std::is_same_v<T, double>) return Scalar::F64;
+  if constexpr (std::is_same_v<T, std::complex<float>>) return Scalar::C32;
+  if constexpr (std::is_same_v<T, std::complex<double>>) return Scalar::C64;
+}
+
+inline std::size_t bytes_of(Scalar s) {
+  switch (s) {
+    case Scalar::F32: return 4;
+    case Scalar::F64: return 8;
+    case Scalar::C32: return 8;
+    case Scalar::C64: return 16;
+  }
+  return 0;
+}
+
+inline bool is_complex_scalar(Scalar s) { return s == Scalar::C32 || s == Scalar::C64; }
+inline bool is_double_scalar(Scalar s) { return s == Scalar::F64 || s == Scalar::C64; }
+
+}  // namespace fmmfft

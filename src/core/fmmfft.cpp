@@ -1,0 +1,128 @@
+#include "core/fmmfft.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/permute.hpp"
+#include "common/timer.hpp"
+#include "fmm/operators.hpp"
+
+namespace fmmfft::core {
+
+template <typename InT>
+struct FmmFft<InT>::Impl {
+  static constexpr int kC = components_v<InT>;
+  using Real = real_of_t<InT>;
+  using Out = std::complex<Real>;
+
+  fmm::Params prm;
+  bool fuse_post;
+  fmm::Engine<Real> engine;
+  fft::Plan1D<Real> plan_p;  // M transforms of size P
+  fft::Plan1D<Real> plan_m;  // P transforms of size M
+  Buffer<Out> scratch;       // permutation / unfused-post staging
+  std::vector<Out> rho;      // rho_p for p = 1..P-1 (index p)
+  ExecutionProfile prof;
+
+  explicit Impl(const fmm::Params& p, bool fuse)
+      : prm(p),
+        fuse_post(fuse),
+        engine(p, kC),
+        plan_p(p.p),
+        plan_m(p.m()),
+        scratch(p.n),
+        rho(static_cast<std::size_t>(p.p)) {
+    for (index_t pp = 1; pp < prm.p; ++pp) {
+      auto r = fmm::rho(pp, prm.p, prm.m());
+      rho[(std::size_t)pp] = Out(Real(r.real()), Real(r.imag()));
+    }
+  }
+
+  /// Read the post-processed element n = p + P·mg of the FMM output:
+  /// T for p = 0 (C_0 = I), rho_p·(T + i·r_p) otherwise.
+  Out post_value(const Real* t, const Real* r, index_t p, index_t mg) const {
+    if constexpr (kC == 2) {
+      const Real re = t[2 * (p + prm.p * mg)];
+      const Real im = t[2 * (p + prm.p * mg) + 1];
+      if (p == 0) return Out(re, im);
+      const Out rp(r[2 * (p - 1)], r[2 * (p - 1) + 1]);
+      return rho[(std::size_t)p] * (Out(re, im) + Out(0, 1) * rp);
+    } else {
+      const Real v = t[p + prm.p * mg];
+      if (p == 0) return Out(v, 0);
+      return rho[(std::size_t)p] * Out(v, r[p - 1]);  // v + i·r_p
+    }
+  }
+
+  void execute(const InT* input, Out* output) {
+    prof = ExecutionProfile{};
+    WallTimer total;
+
+    // Load: the natural-order input vector is exactly the p-major S tensor
+    // (n = p + P·(m + M_L·b)); flattened complex components interleave as
+    // pc = c + C·p.
+    std::memcpy(engine.source_box(0), input, sizeof(InT) * static_cast<std::size_t>(prm.n));
+
+    engine.reset_stats();
+    engine.run_single_node();
+    prof.fmm_stages = engine.stats();
+
+    // Post-process (§4.9 line 15) fused with the load feeding the 2D FFT —
+    // one pass from T to the FFT buffer, the CPU analogue of the cuFFTXT
+    // load-callback fusion. The unfused ablation stages through `scratch`
+    // and pays one extra round trip of T-sized data.
+    WallTimer post_t;
+    const Real* t = engine.target_box(0);
+    const Real* r = engine.reduction();
+    Out* stage = fuse_post ? output : scratch.data();
+    const index_t mtot = prm.m();
+    for (index_t mg = 0; mg < mtot; ++mg)
+      for (index_t p = 0; p < prm.p; ++p) stage[p + prm.p * mg] = post_value(t, r, p, mg);
+    if (!fuse_post) std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    prof.post_seconds = post_t.seconds();
+
+    // 2D FFT F_{M,P}: M size-P FFTs on contiguous blocks, the Π_{M,P}
+    // all-to-all permutation, then P size-M FFTs. Output is in order.
+    WallTimer fft_t;
+    plan_p.execute_batched(output, mtot, fft::Direction::Forward);
+    permute_mp(output, scratch.data(), mtot, prm.p);
+    plan_m.execute_batched(scratch.data(), prm.p, fft::Direction::Forward);
+    std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    prof.fft_seconds = fft_t.seconds();
+
+    prof.total_seconds = total.seconds();
+  }
+};
+
+template <typename InT>
+FmmFft<InT>::FmmFft(const fmm::Params& prm, bool fuse_post)
+    : impl_(std::make_unique<Impl>(prm, fuse_post)) {}
+template <typename InT>
+FmmFft<InT>::~FmmFft() = default;
+template <typename InT>
+FmmFft<InT>::FmmFft(FmmFft&&) noexcept = default;
+template <typename InT>
+FmmFft<InT>& FmmFft<InT>::operator=(FmmFft&&) noexcept = default;
+
+template <typename InT>
+const fmm::Params& FmmFft<InT>::params() const {
+  return impl_->prm;
+}
+
+template <typename InT>
+void FmmFft<InT>::execute(const InT* input, Out* output) {
+  impl_->execute(input, output);
+}
+
+template <typename InT>
+const ExecutionProfile& FmmFft<InT>::profile() const {
+  return impl_->prof;
+}
+
+template class FmmFft<float>;
+template class FmmFft<double>;
+template class FmmFft<std::complex<float>>;
+template class FmmFft<std::complex<double>>;
+
+}  // namespace fmmfft::core

@@ -1,0 +1,48 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/permute.hpp"
+#include "fft/fft.hpp"
+#include "fmm/operators.hpp"
+
+namespace fmmfft::core {
+
+void apply_hhat_dense(const fmm::Params& prm, const std::complex<double>* x,
+                      std::complex<double>* y) {
+  const index_t m = prm.m(), p_total = prm.p;
+  for (index_t p = 0; p < p_total; ++p) {
+    if (p == 0) {
+      for (index_t k = 0; k < m; ++k) y[k * p_total] = x[k * p_total];
+      continue;
+    }
+    const auto cp = fmm::dense_cp(prm, p);
+    for (index_t row = 0; row < m; ++row) {
+      std::complex<double> s = 0;
+      for (index_t col = 0; col < m; ++col) s += cp[(std::size_t)(row + col * m)] * x[p + col * p_total];
+      y[p + row * p_total] = s;
+    }
+  }
+}
+
+void fmmfft_dense_reference(const fmm::Params& prm, const std::complex<double>* x,
+                            std::complex<double>* y) {
+  const index_t n = prm.n, m = prm.m(), p_total = prm.p;
+  std::vector<std::complex<double>> tmp(static_cast<std::size_t>(n));
+  // Ĥ x, then F_{M,P}: M FFTs of size P, Π_{M,P}, P FFTs of size M.
+  apply_hhat_dense(prm, x, y);
+  fft::Plan1D<double> fp(p_total);
+  fp.execute_batched(y, m, fft::Direction::Forward);
+  permute_mp(y, tmp.data(), m, p_total);
+  fft::Plan1D<double> fm(m);
+  fm.execute_batched(tmp.data(), p_total, fft::Direction::Forward);
+  std::copy(tmp.begin(), tmp.end(), y);
+}
+
+void exact_fft(index_t n, const std::complex<double>* x, std::complex<double>* y) {
+  std::copy_n(x, n, y);
+  fft::fft(y, n, fft::Direction::Forward);
+}
+
+}  // namespace fmmfft::core

@@ -1,0 +1,33 @@
+// Dense reference implementations used to validate the FMM-FFT pipeline:
+//
+//  * apply_hhat_dense — applies Ĥ_{M,P} = Π_{P,M} H_{P,M} Π_{M,P} with the
+//    exact dense C_p matrices (O(P·M²); test sizes only).
+//  * fmmfft_dense_reference — the full factorization with dense Ĥ and exact
+//    FFTs: reproduces F_N x to machine precision and pins down every
+//    permutation/sign convention independently of the FMM.
+//  * exact_fft — F_N x via the FFT substrate (the accuracy baseline the
+//    paper measures its relative l2 error against).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fmm/params.hpp"
+
+namespace fmmfft::core {
+
+/// y := Ĥ_{M,P} x with dense C_p matrices, double-precision internally.
+/// In the p-major layout Ĥ is block-free: FMM p acts on the subsequence
+/// x[p + k·P], k = 0..M-1.
+void apply_hhat_dense(const fmm::Params& prm, const std::complex<double>* x,
+                      std::complex<double>* y);
+
+/// y := F_N x via the dense FMM-FFT factorization (Eq. 2).
+void fmmfft_dense_reference(const fmm::Params& prm, const std::complex<double>* x,
+                            std::complex<double>* y);
+
+/// y := F_N x with the FFT substrate (Stockham), double precision.
+void exact_fft(index_t n, const std::complex<double>* x, std::complex<double>* y);
+
+}  // namespace fmmfft::core

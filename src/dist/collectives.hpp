@@ -1,0 +1,79 @@
+// Collective operations over the simulated fabric: the distributed
+// block-to-cyclic transpose (one all-to-all), ring halo exchange, and
+// allgather. Message granularity is one staged buffer per device pair, so
+// fabric byte counts correspond to real message traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/fabric.hpp"
+
+namespace fmmfft::dist {
+
+/// Distributed Π_{M,P}: y[m + p·M] = x[p + m·P] with both x and y block
+/// partitioned into G contiguous slabs of N/G elements. Rank r owns
+/// m ∈ [r·M/G, (r+1)·M/G) on the input side and p ∈ [r·P/G, (r+1)·P/G)
+/// on the output side; every ordered pair exchanges (M/G)·(P/G) elements.
+template <typename T>
+void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
+                           const std::vector<T*>& out, index_t m, index_t p,
+                           const std::string& tag) {
+  const int g = fabric.num_devices();
+  FMMFFT_CHECK((index_t)in.size() == g && (index_t)out.size() == g);
+  FMMFFT_CHECK(m % g == 0 && p % g == 0);
+  const index_t mg = m / g, pg = p / g;
+  Buffer<T> stage_src(mg * pg), stage_dst(mg * pg);
+  for (int r = 0; r < g; ++r) {        // sender: owns m-range [r*mg, ...)
+    for (int rr = 0; rr < g; ++rr) {   // receiver: owns p-range [rr*pg, ...)
+      // Pack elements (p, m) with p in rr's range from r's input slab.
+      // Input slab local index of global n = p + m*P is n - r*mg*p_total.
+      index_t k = 0;
+      for (index_t pm = 0; pm < mg; ++pm)       // local m offset
+        for (index_t pp = 0; pp < pg; ++pp)     // local p offset
+          stage_src[k++] = in[(std::size_t)r][(rr * pg + pp) + pm * p];
+      fabric.send(r, rr, stage_src.data(), stage_dst.data(), mg * pg, tag);
+      // Unpack into rr's output slab: local index of j = m + p*M is
+      // j - rr*pg*m_total.
+      k = 0;
+      for (index_t pm = 0; pm < mg; ++pm)
+        for (index_t pp = 0; pp < pg; ++pp)
+          out[(std::size_t)rr][(r * mg + pm) + pp * m] = stage_dst[k++];
+    }
+  }
+}
+
+/// Cyclic ring halo exchange: every rank receives `halo_elems` elements
+/// from each neighbour. `lo_dst[r]` receives the *last* halo_elems of
+/// rank r-1's interior (`hi_src`), `hi_dst[r]` the *first* halo_elems of
+/// rank r+1's interior (`lo_src`).
+template <typename T>
+void halo_exchange_ring(sim::Fabric& fabric, const std::vector<const T*>& lo_src,
+                        const std::vector<const T*>& hi_src, const std::vector<T*>& lo_dst,
+                        const std::vector<T*>& hi_dst, index_t halo_elems,
+                        const std::string& tag) {
+  const int g = fabric.num_devices();
+  for (int r = 0; r < g; ++r) {
+    const int left = (r + g - 1) % g, right = (r + 1) % g;
+    fabric.send(left, r, hi_src[(std::size_t)left], lo_dst[(std::size_t)r], halo_elems, tag);
+    fabric.send(right, r, lo_src[(std::size_t)right], hi_dst[(std::size_t)r], halo_elems, tag);
+  }
+}
+
+/// Allgather: rank r contributes `slab_elems` at slab_src[r]; afterwards
+/// every rank's `full_dst` holds all G slabs in rank order. The local slab
+/// is copied locally (no traffic recorded).
+template <typename T>
+void allgather(sim::Fabric& fabric, const std::vector<const T*>& slab_src,
+               const std::vector<T*>& full_dst, index_t slab_elems, const std::string& tag) {
+  const int g = fabric.num_devices();
+  for (int r = 0; r < g; ++r)
+    for (int rr = 0; rr < g; ++rr)
+      fabric.send(r, rr, slab_src[(std::size_t)r], full_dst[(std::size_t)rr] + r * slab_elems,
+                  slab_elems, tag);
+}
+
+}  // namespace fmmfft::dist

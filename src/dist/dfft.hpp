@@ -1,0 +1,75 @@
+// Distributed FFTs over the simulated multi-device fabric.
+//
+//  * DistFft1d — the industry-standard baseline the paper measures against
+//    (the cuFFTXT stand-in): radix-P split with THREE all-to-all
+//    transposes (§3):
+//      Π_{M,P} · (I_M⊗F_P) · Π_{P,M} · T_{P,M} · (I_P⊗F_M) · Π_{M,P}
+//  * Dist2dFft — the M×P 2D FFT used as the second stage of the FMM-FFT
+//    (and as Fig. 3's "2D cuFFTXT" budget bar): ONE all-to-all.
+//
+// Data is host-staged: execute() takes the full input/output arrays and
+// scatters/gathers to per-device slabs internally; slab residency and all
+// inter-device traffic go through the fabric ledger.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "fft/fft.hpp"
+#include "sim/fabric.hpp"
+
+namespace fmmfft::dist {
+
+/// Baseline in-order distributed 1D FFT with three all-to-all transposes.
+template <typename T>
+class DistFft1d {
+ public:
+  /// n must be a power of two; factors are chosen balanced (M ≈ P ≈ √N).
+  /// g devices must divide both factors.
+  DistFft1d(index_t n, int g);
+
+  index_t size() const { return n_; }
+  index_t factor_m() const { return m_; }
+  index_t factor_p() const { return p_; }
+
+  void execute(const std::complex<T>* in, std::complex<T>* out);
+
+  const sim::Fabric& fabric() const { return fabric_; }
+  sim::Fabric& fabric() { return fabric_; }
+
+ private:
+  index_t n_, m_, p_;
+  int g_;
+  sim::Fabric fabric_;
+  fft::Plan1D<T> plan_m_, plan_p_;
+  std::vector<Buffer<std::complex<T>>> slab_a_, slab_b_;
+  Buffer<std::complex<T>> twiddle_;  // per-slab twiddle factors, slab-major
+};
+
+/// Distributed M×P 2D FFT in the FMM-FFT's p-major layout: input element
+/// (p, m) at position p + m·P, block partitioned over m; output in order.
+template <typename T>
+class Dist2dFft {
+ public:
+  Dist2dFft(index_t m, index_t p, int g);
+
+  void execute(const std::complex<T>* in, std::complex<T>* out);
+
+  /// In-place variant over externally owned per-device slabs of N/G
+  /// elements (used by the distributed FMM-FFT to avoid staging).
+  void execute_slabs(const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric);
+
+  const sim::Fabric& fabric() const { return fabric_; }
+
+ private:
+  index_t m_, p_;
+  int g_;
+  sim::Fabric fabric_;
+  fft::Plan1D<T> plan_m_, plan_p_;
+  std::vector<Buffer<std::complex<T>>> scratch_;
+};
+
+}  // namespace fmmfft::dist

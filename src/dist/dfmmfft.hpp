@@ -1,0 +1,61 @@
+// Distributed FMM-FFT (Algorithm 1 across G simulated devices).
+//
+// Each device runs one fmm::Engine on its slab of leaf boxes; the halo
+// exchanges (COMM S, COMM Mℓ), the base-level allgather (COMM M_B) and the
+// 2D FFT's single all-to-all go through the fabric ledger. Numerical
+// results are exact (identical to the single-node pipeline up to floating
+// point associativity); timing comes from the schedule in
+// dist/schedules.hpp simulated under an architecture model.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/fmmfft.hpp"
+#include "dist/dfft.hpp"
+#include "fmm/engine.hpp"
+#include "fmm/params.hpp"
+#include "sim/fabric.hpp"
+
+namespace fmmfft::dist {
+
+template <typename InT>
+class DistFmmFft {
+ public:
+  using Real = real_of_t<InT>;
+  using Out = std::complex<Real>;
+
+  DistFmmFft(const fmm::Params& prm, int g);
+
+  const fmm::Params& params() const { return prm_; }
+  int num_devices() const { return g_; }
+
+  /// Host-staged execute: out = F_N · in, both length N.
+  void execute(const InT* in, Out* out);
+
+  const sim::Fabric& fabric() const { return fabric_; }
+  sim::Fabric& fabric() { return fabric_; }
+
+  /// Stats of device `r`'s engine for the most recent execute().
+  const std::vector<fmm::StageStats>& engine_stats(int r) const {
+    return engines_[(std::size_t)r]->stats();
+  }
+
+ private:
+  void exchange_source_halos();
+  void exchange_multipole_halos(int level);
+  void allgather_base();
+
+  fmm::Params prm_;
+  int g_;
+  int c_;
+  sim::Fabric fabric_;
+  std::vector<std::unique_ptr<fmm::Engine<Real>>> engines_;
+  Dist2dFft<Real> fft2d_;
+  std::vector<Buffer<Out>> slabs_;  // post-processed data fed to the 2D FFT
+  std::vector<Out> rho_;
+};
+
+}  // namespace fmmfft::dist

@@ -1,0 +1,31 @@
+// Builders of sim::Schedule op-DAGs mirroring the distributed executions.
+//
+// These are what "measurement" means on the simulated architectures: the
+// same kernels, messages and dependency structure the real drivers execute
+// (the drivers and builders are cross-checked by tests on launch counts and
+// comm bytes), timed under an ArchParams model. They are also usable
+// without executing — op counts depend only on the plan parameters — which
+// is how the benches reach the paper's N = 2^27..2^29 on one host.
+//
+// Transposes are chunk-pipelined: each all-to-all is split into chunks that
+// overlap with the neighbouring FFT compute, reproducing the near-perfect
+// comm/compute overlap of the cuFFTXT profile (Fig. 2 top).
+#pragma once
+
+#include "fmm/params.hpp"
+#include "model/counts.hpp"
+#include "sim/schedule.hpp"
+
+namespace fmmfft::dist {
+
+/// Algorithm 1 + fused POST + distributed 2D FFT.
+sim::Schedule fmmfft_schedule(const fmm::Params& prm, const model::Workload& w, int g,
+                              bool fuse_post = true);
+
+/// Baseline three-transpose distributed 1D FFT (the cuFFTXT stand-in).
+sim::Schedule baseline1d_schedule(index_t n, const model::Workload& w, int g);
+
+/// Standalone distributed M×P 2D FFT (Fig. 3's "2D cuFFTXT" budget bar).
+sim::Schedule dist2dfft_schedule(index_t m, index_t p, const model::Workload& w, int g);
+
+}  // namespace fmmfft::dist

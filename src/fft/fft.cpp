@@ -1,0 +1,283 @@
+// Stockham radix-2 autosort FFT with Bluestein fallback for non-pow2 sizes.
+#include "fft/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/permute.hpp"
+
+namespace fmmfft::fft {
+namespace {
+
+template <typename T>
+using Cx = std::complex<T>;
+
+/// Twiddle tables for all log2(n) Stockham stages of a pow2 transform.
+/// Stage t operates on current length n_cur = n >> t and stores
+/// exp(-2·pi·i·p / n_cur) for p < n_cur/2, concatenated per stage.
+template <typename T>
+struct Twiddles {
+  std::vector<Cx<T>, AlignedAllocator<Cx<T>>> w;
+  std::vector<index_t> stage_off;
+
+  explicit Twiddles(index_t n) {
+    index_t total = 0;
+    for (index_t len = n; len >= 2; len /= 2) {
+      stage_off.push_back(total);
+      total += len / 2;
+    }
+    w.resize(static_cast<std::size_t>(total));
+    index_t t = 0;
+    for (index_t len = n; len >= 2; len /= 2, ++t) {
+      const long double theta = 2.0L * pi_v<long double> / (long double)len;
+      for (index_t p = 0; p < len / 2; ++p)
+        w[static_cast<std::size_t>(stage_off[(std::size_t)t] + p)] =
+            Cx<T>((T)std::cos((long double)p * theta), (T)-std::sin((long double)p * theta));
+    }
+  }
+};
+
+/// One pow2 Stockham transform: ping-pongs between data and scratch,
+/// leaving the result in data. `Inv` selects the conjugated twiddles.
+template <typename T, bool Inv>
+void stockham_pow2(Cx<T>* data, Cx<T>* scratch, index_t n, const Twiddles<T>& tw) {
+  if (n == 1) return;
+  Cx<T>* src = data;
+  Cx<T>* dst = scratch;
+  index_t s = 1;
+  index_t t = 0;
+  for (index_t len = n; len >= 2; len /= 2, s *= 2, ++t) {
+    const index_t m = len / 2;
+    const Cx<T>* wstage = tw.w.data() + tw.stage_off[(std::size_t)t];
+    for (index_t p = 0; p < m; ++p) {
+      Cx<T> wp = wstage[p];
+      if constexpr (Inv) wp = std::conj(wp);
+      Cx<T>* d0 = dst + s * (2 * p);
+      Cx<T>* d1 = dst + s * (2 * p + 1);
+      const Cx<T>* s0 = src + s * p;
+      const Cx<T>* s1 = src + s * (p + m);
+      for (index_t q = 0; q < s; ++q) {
+        const Cx<T> a = s0[q];
+        const Cx<T> b = s1[q];
+        d0[q] = a + b;
+        d1[q] = (a - b) * wp;
+      }
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::copy_n(src, n, data);
+}
+
+}  // namespace
+
+template <typename T>
+void dft_reference(const Cx<T>* x, Cx<T>* y, index_t n, Direction dir) {
+  FMMFFT_CHECK(x != y);
+  const long double sgn = dir == Direction::Forward ? -1.0L : 1.0L;
+  for (index_t i = 0; i < n; ++i) {
+    std::complex<long double> s = 0;
+    for (index_t j = 0; j < n; ++j) {
+      // Reduce i*j mod n before the trig call to keep the argument small.
+      long double ang = sgn * 2.0L * pi_v<long double> *
+                        (long double)((__int128)i * j % n) / (long double)n;
+      s += std::complex<long double>(x[j]) *
+           std::complex<long double>(std::cos(ang), std::sin(ang));
+    }
+    y[i] = Cx<T>((T)s.real(), (T)s.imag());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan1D
+
+template <typename T>
+struct Plan1D<T>::Impl {
+  index_t n;
+  bool pow2;
+  Twiddles<T> tw;                               // for n (pow2) or m (Bluestein)
+  mutable Buffer<Cx<T>> scratch;                // Stockham ping-pong buffer
+
+  // Bluestein state (pow2 == false): transform size m >= 2n-1, chirp c,
+  // and the precomputed forward-FFT of the chirp filter for each direction.
+  index_t m = 0;
+  Buffer<Cx<T>> chirp_fwd, chirp_inv;           // c[k], per direction
+  Buffer<Cx<T>> filter_fft_fwd, filter_fft_inv; // FFT(b), per direction
+  mutable Buffer<Cx<T>> work;                   // length m
+
+  static index_t next_pow2(index_t v) {
+    index_t p = 1;
+    while (p < v) p *= 2;
+    return p;
+  }
+
+  explicit Impl(index_t n_)
+      : n(n_),
+        pow2(is_pow2(n_)),
+        tw(pow2 ? n_ : next_pow2(2 * n_ - 1)),
+        scratch(pow2 ? n_ : next_pow2(2 * n_ - 1)) {
+    FMMFFT_CHECK_MSG(n >= 1, "FFT size must be positive");
+    if (!pow2) {
+      m = next_pow2(2 * n - 1);
+      chirp_fwd = Buffer<Cx<T>>(n);
+      chirp_inv = Buffer<Cx<T>>(n);
+      filter_fft_fwd = Buffer<Cx<T>>(m);
+      filter_fft_inv = Buffer<Cx<T>>(m);
+      work = Buffer<Cx<T>>(m);
+      for (int d = 0; d < 2; ++d) {
+        const long double sgn = d == 0 ? -1.0L : 1.0L;
+        auto& c = d == 0 ? chirp_fwd : chirp_inv;
+        auto& bf = d == 0 ? filter_fft_fwd : filter_fft_inv;
+        for (index_t k = 0; k < n; ++k) {
+          // k^2 mod 2n keeps the phase argument small for huge k.
+          long double ang =
+              sgn * pi_v<long double> * (long double)((__int128)k * k % (2 * n)) / (long double)n;
+          c[k] = Cx<T>((T)std::cos(ang), (T)std::sin(ang));
+        }
+        bf.fill(Cx<T>(0));
+        for (index_t k = 0; k < n; ++k) {
+          bf[k] = std::conj(c[k]);
+          if (k > 0) bf[m - k] = std::conj(c[k]);
+        }
+        stockham_pow2<T, false>(bf.data(), work.data(), m, tw);
+      }
+    }
+  }
+
+  void run_one(Cx<T>* data, Direction dir) const {
+    if (pow2) {
+      if (dir == Direction::Forward)
+        stockham_pow2<T, false>(data, scratch.data(), n, tw);
+      else
+        stockham_pow2<T, true>(data, scratch.data(), n, tw);
+      return;
+    }
+    // Bluestein: y[k] = c[k] * IFFT( FFT(x.*c) .* FFT(b) )[k] / m
+    const auto& c = dir == Direction::Forward ? chirp_fwd : chirp_inv;
+    const auto& bf = dir == Direction::Forward ? filter_fft_fwd : filter_fft_inv;
+    for (index_t k = 0; k < n; ++k) work[k] = data[k] * c[k];
+    for (index_t k = n; k < m; ++k) work[k] = Cx<T>(0);
+    stockham_pow2<T, false>(work.data(), scratch.data(), m, tw);
+    for (index_t k = 0; k < m; ++k) work[k] *= bf[k];
+    stockham_pow2<T, true>(work.data(), scratch.data(), m, tw);
+    const T inv_m = T(1) / T(m);
+    for (index_t k = 0; k < n; ++k) data[k] = work[k] * c[k] * inv_m;
+  }
+};
+
+template <typename T>
+Plan1D<T>::Plan1D(index_t n) : impl_(std::make_unique<Impl>(n)) {}
+template <typename T>
+Plan1D<T>::~Plan1D() = default;
+template <typename T>
+Plan1D<T>::Plan1D(Plan1D&&) noexcept = default;
+template <typename T>
+Plan1D<T>& Plan1D<T>::operator=(Plan1D&&) noexcept = default;
+
+template <typename T>
+index_t Plan1D<T>::size() const {
+  return impl_->n;
+}
+
+template <typename T>
+void Plan1D<T>::execute(Cx<T>* data, Direction dir) const {
+  impl_->run_one(data, dir);
+}
+
+template <typename T>
+void Plan1D<T>::execute_batched(Cx<T>* data, index_t count, Direction dir) const {
+  for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * impl_->n, dir);
+}
+
+template <typename T>
+void Plan1D<T>::execute_strided(Cx<T>* data, index_t count, index_t stride, index_t dist,
+                                Direction dir) const {
+  const index_t n = impl_->n;
+  if (stride == 1) {
+    for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * dist, dir);
+    return;
+  }
+  // Gather each strided batch into contiguous scratch, transform, scatter.
+  Buffer<Cx<T>> line(n);
+  for (index_t g = 0; g < count; ++g) {
+    Cx<T>* base = data + g * dist;
+    for (index_t j = 0; j < n; ++j) line[j] = base[j * stride];
+    impl_->run_one(line.data(), dir);
+    for (index_t j = 0; j < n; ++j) base[j * stride] = line[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan2D
+
+template <typename T>
+struct Plan2D<T>::Impl {
+  index_t n0, n1;
+  Plan1D<T> p0, p1;
+  mutable Buffer<Cx<T>> scratch;
+
+  Impl(index_t n0_, index_t n1_) : n0(n0_), n1(n1_), p0(n0_), p1(n1_), scratch(n0_ * n1_) {}
+
+  void run(Cx<T>* data, Direction dir) const {
+    // FFT the n1 contiguous length-n0 lines, transpose, FFT the n0
+    // length-n1 lines, transpose back.
+    p0.execute_batched(data, n1, dir);
+    transpose_blocked(data, scratch.data(), n0, n1);
+    p1.execute_batched(scratch.data(), n0, dir);
+    transpose_blocked(scratch.data(), data, n1, n0);
+  }
+};
+
+template <typename T>
+Plan2D<T>::Plan2D(index_t n0, index_t n1) : impl_(std::make_unique<Impl>(n0, n1)) {}
+template <typename T>
+Plan2D<T>::~Plan2D() = default;
+template <typename T>
+Plan2D<T>::Plan2D(Plan2D&&) noexcept = default;
+template <typename T>
+Plan2D<T>& Plan2D<T>::operator=(Plan2D&&) noexcept = default;
+
+template <typename T>
+index_t Plan2D<T>::size0() const {
+  return impl_->n0;
+}
+template <typename T>
+index_t Plan2D<T>::size1() const {
+  return impl_->n1;
+}
+template <typename T>
+void Plan2D<T>::execute(Cx<T>* data, Direction dir) const {
+  impl_->run(data, dir);
+}
+
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void fft(Cx<T>* data, index_t n, Direction dir) {
+  Plan1D<T>(n).execute(data, dir);
+}
+
+template <typename T>
+void fft2d(Cx<T>* data, index_t n0, index_t n1, Direction dir) {
+  Plan2D<T>(n0, n1).execute(data, dir);
+}
+
+template <typename T>
+void normalize(Cx<T>* data, index_t n, index_t transform_size) {
+  const T s = T(1) / T(transform_size);
+  for (index_t i = 0; i < n; ++i) data[i] *= s;
+}
+
+#define FMMFFT_INSTANTIATE_FFT(T)                                                   \
+  template void dft_reference<T>(const Cx<T>*, Cx<T>*, index_t, Direction);          \
+  template class Plan1D<T>;                                                          \
+  template class Plan2D<T>;                                                          \
+  template void fft<T>(Cx<T>*, index_t, Direction);                                  \
+  template void fft2d<T>(Cx<T>*, index_t, index_t, Direction);                       \
+  template void normalize<T>(Cx<T>*, index_t, index_t);
+
+FMMFFT_INSTANTIATE_FFT(float)
+FMMFFT_INSTANTIATE_FFT(double)
+
+}  // namespace fmmfft::fft

@@ -1,0 +1,93 @@
+// FFT substrate — the library's stand-in for cuFFT.
+//
+// Complex-to-complex transforms only (the FMM-FFT needs exactly that: the
+// post-processed FMM output is complex even for real input). Power-of-two
+// sizes run a cache-friendly iterative Stockham radix-2 autosort (no bit
+// reversal); other sizes fall back to Bluestein's chirp-z algorithm built on
+// the power-of-two path. Transforms are unnormalized, matching
+// cuFFT/FFTW conventions: ifft(fft(x)) == n * x.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft::fft {
+
+enum class Direction { Forward, Inverse };
+
+/// Direct O(n^2) DFT, long-double accumulated: the accuracy reference.
+template <typename T>
+void dft_reference(const std::complex<T>* x, std::complex<T>* y, index_t n,
+                   Direction dir = Direction::Forward);
+
+/// Plan for 1D transforms of a fixed size (any n >= 1). Holds twiddle
+/// tables and scratch; plan once, execute many times. Not thread-safe for
+/// concurrent execute() on the same plan (scratch is shared).
+template <typename T>
+class Plan1D {
+ public:
+  explicit Plan1D(index_t n);
+  ~Plan1D();
+  Plan1D(Plan1D&&) noexcept;
+  Plan1D& operator=(Plan1D&&) noexcept;
+
+  index_t size() const;
+
+  /// In-place transform of `data` (length n).
+  void execute(std::complex<T>* data, Direction dir) const;
+
+  /// `count` independent transforms on contiguous batches:
+  /// batch g occupies data[g*n .. g*n + n).
+  void execute_batched(std::complex<T>* data, index_t count, Direction dir) const;
+
+  /// `count` transforms with cuFFT-style advanced layout: element j of
+  /// batch g lives at data[g*dist + j*stride].
+  void execute_strided(std::complex<T>* data, index_t count, index_t stride, index_t dist,
+                       Direction dir) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// 2D transform of an n0×n1 column-major array (n0 fastest). Implemented
+/// as rows-FFT, blocked transpose, rows-FFT, transpose back.
+template <typename T>
+class Plan2D {
+ public:
+  Plan2D(index_t n0, index_t n1);
+  ~Plan2D();
+  Plan2D(Plan2D&&) noexcept;
+  Plan2D& operator=(Plan2D&&) noexcept;
+
+  index_t size0() const;
+  index_t size1() const;
+
+  void execute(std::complex<T>* data, Direction dir) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience transforms (plan internally).
+template <typename T>
+void fft(std::complex<T>* data, index_t n, Direction dir = Direction::Forward);
+template <typename T>
+void fft2d(std::complex<T>* data, index_t n0, index_t n1, Direction dir = Direction::Forward);
+
+/// Scale data by 1/n (apply after an Inverse transform to invert Forward).
+template <typename T>
+void normalize(std::complex<T>* data, index_t n, index_t transform_size);
+
+/// Flop count model for a complex transform of size n (5 n log2 n).
+inline double fft_flops(index_t n) {
+  double lg = n > 1 ? std::log2(double(n)) : 0.0;
+  return 5.0 * double(n) * lg;
+}
+
+}  // namespace fmmfft::fft

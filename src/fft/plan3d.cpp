@@ -1,0 +1,59 @@
+#include "fft/plan3d.hpp"
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+
+namespace fmmfft::fft {
+
+template <typename T>
+struct Plan3D<T>::Impl {
+  index_t n0, n1, n2;
+  Plan1D<T> p0, p1, p2;
+
+  Impl(index_t n0_, index_t n1_, index_t n2_)
+      : n0(n0_), n1(n1_), n2(n2_), p0(n0_), p1(n1_), p2(n2_) {
+    FMMFFT_CHECK(n0 >= 1 && n1 >= 1 && n2 >= 1);
+  }
+
+  void run(std::complex<T>* data, Direction dir) const {
+    // dim0: n1*n2 contiguous lines.
+    p0.execute_batched(data, n1 * n2, dir);
+    // dim1: within each k-slab, n0 lines of stride n0.
+    for (index_t k = 0; k < n2; ++k)
+      p1.execute_strided(data + k * n0 * n1, /*count=*/n0, /*stride=*/n0, /*dist=*/1, dir);
+    // dim2: n0*n1 lines of stride n0*n1.
+    p2.execute_strided(data, /*count=*/n0 * n1, /*stride=*/n0 * n1, /*dist=*/1, dir);
+  }
+};
+
+template <typename T>
+Plan3D<T>::Plan3D(index_t n0, index_t n1, index_t n2)
+    : impl_(std::make_unique<Impl>(n0, n1, n2)) {}
+template <typename T>
+Plan3D<T>::~Plan3D() = default;
+template <typename T>
+Plan3D<T>::Plan3D(Plan3D&&) noexcept = default;
+template <typename T>
+Plan3D<T>& Plan3D<T>::operator=(Plan3D&&) noexcept = default;
+
+template <typename T>
+index_t Plan3D<T>::size0() const {
+  return impl_->n0;
+}
+template <typename T>
+index_t Plan3D<T>::size1() const {
+  return impl_->n1;
+}
+template <typename T>
+index_t Plan3D<T>::size2() const {
+  return impl_->n2;
+}
+template <typename T>
+void Plan3D<T>::execute(std::complex<T>* data, Direction dir) const {
+  impl_->run(data, dir);
+}
+
+template class Plan3D<float>;
+template class Plan3D<double>;
+
+}  // namespace fmmfft::fft

@@ -1,0 +1,35 @@
+// 3D complex transforms, rounding out the FFT substrate (cuFFT exposes
+// 1D/2D/3D; the 2D path is what the FMM-FFT consumes, the 3D path serves
+// library users directly).
+#pragma once
+
+#include <complex>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace fmmfft::fft {
+
+enum class Direction;
+
+/// 3D transform of an n0×n1×n2 column-major array (n0 fastest).
+template <typename T>
+class Plan3D {
+ public:
+  Plan3D(index_t n0, index_t n1, index_t n2);
+  ~Plan3D();
+  Plan3D(Plan3D&&) noexcept;
+  Plan3D& operator=(Plan3D&&) noexcept;
+
+  index_t size0() const;
+  index_t size1() const;
+  index_t size2() const;
+
+  void execute(std::complex<T>* data, Direction dir) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fmmfft::fft

@@ -1,0 +1,86 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fft/fft.hpp"
+
+namespace fmmfft::fft {
+
+template <typename T>
+struct RealPlan1D<T>::Impl {
+  using Cx = std::complex<T>;
+  index_t n, m;            // m = n/2 packed complex points
+  Plan1D<T> half;
+  Buffer<Cx> tw;           // e^{-2*pi*i*k/n}, k = 0..m
+  mutable Buffer<Cx> work;
+
+  explicit Impl(index_t n_) : n(n_), m(n_ / 2), half(n_ / 2), tw(n_ / 2 + 1), work(n_ / 2) {
+    FMMFFT_CHECK_MSG(n >= 2 && n % 2 == 0, "real transforms need even n >= 2");
+    for (index_t k = 0; k <= m; ++k) {
+      const long double a = -2.0L * pi_v<long double> * (long double)k / (long double)n;
+      tw[k] = Cx((T)std::cos(a), (T)std::sin(a));
+    }
+  }
+
+  void r2c(const T* in, Cx* x) const {
+    // Pack adjacent reals into complex points and run one half-size FFT.
+    for (index_t k = 0; k < m; ++k) work[k] = Cx(in[2 * k], in[2 * k + 1]);
+    half.execute(work.data(), Direction::Forward);
+    // Untangle: A = FFT(evens), B = FFT(odds); X[k] = A[k] + w^k B[k].
+    for (index_t k = 0; k <= m; ++k) {
+      const Cx zk = work[k % m];
+      const Cx zmk = std::conj(work[(m - k) % m]);
+      const Cx a = (zk + zmk) * T(0.5);
+      const Cx b = (zk - zmk) * Cx(0, T(-0.5));  // divide by 2i
+      x[k] = a + tw[k] * b;
+    }
+  }
+
+  void c2r(const Cx* x, T* out) const {
+    // Re-tangle the Hermitian half-spectrum into the packed transform.
+    for (index_t k = 0; k < m; ++k) {
+      const Cx xk = x[k];
+      const Cx xc = std::conj(x[m - k]);
+      const Cx a = (xk + xc) * T(0.5);
+      const Cx wb = (xk - xc) * T(0.5);
+      const Cx b = wb * std::conj(tw[k]);  // multiply by e^{+2pi i k/n}
+      work[k] = a + Cx(0, 1) * b;
+    }
+    half.execute(work.data(), Direction::Inverse);
+    // Unnormalized inverse: the half FFT yields m·z; doubling gives n·x.
+    for (index_t k = 0; k < m; ++k) {
+      out[2 * k] = T(2) * work[k].real();
+      out[2 * k + 1] = T(2) * work[k].imag();
+    }
+  }
+};
+
+template <typename T>
+RealPlan1D<T>::RealPlan1D(index_t n) : impl_(std::make_unique<Impl>(n)) {}
+template <typename T>
+RealPlan1D<T>::~RealPlan1D() = default;
+template <typename T>
+RealPlan1D<T>::RealPlan1D(RealPlan1D&&) noexcept = default;
+template <typename T>
+RealPlan1D<T>& RealPlan1D<T>::operator=(RealPlan1D&&) noexcept = default;
+
+template <typename T>
+index_t RealPlan1D<T>::size() const {
+  return impl_->n;
+}
+template <typename T>
+void RealPlan1D<T>::r2c(const T* in, std::complex<T>* spectrum) const {
+  impl_->r2c(in, spectrum);
+}
+template <typename T>
+void RealPlan1D<T>::c2r(const std::complex<T>* spectrum, T* out) const {
+  impl_->c2r(spectrum, out);
+}
+
+template class RealPlan1D<float>;
+template class RealPlan1D<double>;
+
+}  // namespace fmmfft::fft

@@ -1,0 +1,42 @@
+// Real-to-complex and complex-to-real transforms, built on the complex
+// substrate via the classic N/2 packing trick: production FFT libraries
+// (the paper's cuFFT/FFTW baselines included) expose these, and the
+// FMM-FFT's C = 1 input path benchmarks against them.
+//
+// Conventions match FFTW/cuFFT: r2c produces the n/2+1 non-redundant
+// Hermitian half-spectrum of an n-point real signal (unnormalized); c2r
+// consumes it and returns n real points scaled by n (so c2r(r2c(x)) == n·x).
+#pragma once
+
+#include <complex>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace fmmfft::fft {
+
+template <typename T>
+class RealPlan1D {
+ public:
+  /// n must be even and >= 2 (power of two recommended; any even size
+  /// works through the Bluestein path of the complex plan).
+  explicit RealPlan1D(index_t n);
+  ~RealPlan1D();
+  RealPlan1D(RealPlan1D&&) noexcept;
+  RealPlan1D& operator=(RealPlan1D&&) noexcept;
+
+  index_t size() const;
+
+  /// Forward: spectrum[k] = sum_t in[t]·exp(-2πi·k·t/n), k = 0..n/2.
+  void r2c(const T* in, std::complex<T>* spectrum) const;
+
+  /// Inverse: out[t] = sum over the full Hermitian-extended spectrum;
+  /// result is n times the original signal (unnormalized inverse).
+  void c2r(const std::complex<T>* spectrum, T* out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fmmfft::fft

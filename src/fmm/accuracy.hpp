@@ -1,0 +1,65 @@
+// A-priori error control for the FMM-FFT (§2: "the ability within the
+// FMM-FFT to specify the error a priori regardless of the complexity or
+// distribution of the input").
+//
+// The interpolative FMM's error is governed by Chebyshev interpolation of
+// the cotangent kernel over well-separated boxes. The nearest kernel
+// singularity sits |s| >= 2 box-widths away, i.e. at distance >= 3 in the
+// child's [-1, 1] coordinates, so interpolation converges inside the
+// Bernstein ellipse of radius rho = 3 + sqrt(8) ≈ 5.83 and the relative
+// error decays like rho^{-Q}. The constant is calibrated once against the
+// measured error sweep (Fig. 9 bottom), with a safety margin.
+#pragma once
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/types.hpp"
+#include "fmm/params.hpp"
+
+namespace fmmfft::fmm {
+
+/// Geometric convergence ratio of the Chebyshev far-field expansion:
+/// nearest singularity at distance 3 => rho = 3 + sqrt(8).
+inline double convergence_ratio() { return 3.0 + std::sqrt(8.0); }
+
+/// Predicted relative l2 error of the full FMM-FFT at expansion order q
+/// (before the machine-precision floor). Calibrated constant with margin.
+inline double predict_rel_error(int q) {
+  return 8.0 * std::pow(convergence_ratio(), -double(q));
+}
+
+/// Machine-precision floor of the pipeline for the given real type width.
+/// (§6.1: the paper's reported runs achieve < 4e-7 single / < 2e-14 double.)
+inline double error_floor(bool is_double) { return is_double ? 2e-14 : 4e-7; }
+
+/// Predicted error including the floor.
+inline double predict_rel_error(int q, bool is_double) {
+  return std::max(predict_rel_error(q), error_floor(is_double));
+}
+
+/// Smallest Q whose predicted error is below eps (clamped to [2, 24]).
+inline int min_q_for(double eps) {
+  for (int q = 2; q <= 24; ++q)
+    if (predict_rel_error(q) <= eps) return q;
+  return 24;
+}
+
+/// Convenience: parameters for a transform of size n meeting a target
+/// accuracy, using the paper's preferred large-N shape (M_L = 64, B = 3
+/// where admissible, P chosen to keep M = N/P >= M_L·2^B).
+inline Params suggest_params(index_t n, double eps, index_t g = 1) {
+  const int q = min_q_for(eps);
+  for (index_t ml : {64, 32, 16, 8, 4, 2, 1}) {
+    for (index_t p = std::max<index_t>(32, g); p <= n / 2; p *= 2) {
+      for (int b : {3, 2}) {
+        Params prm{n, p, ml, b, q};
+        if (n / p % ml == 0 && prm.is_admissible(g)) return prm;
+      }
+    }
+  }
+  FMMFFT_CHECK_MSG(false, "no admissible parameters for N=" << n << " G=" << g);
+  return {};
+}
+
+}  // namespace fmmfft::fmm

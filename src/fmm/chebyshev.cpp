@@ -1,0 +1,68 @@
+#include "fmm/chebyshev.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace fmmfft::fmm {
+
+std::vector<double> chebyshev_points(int q) {
+  FMMFFT_CHECK(q >= 1);
+  std::vector<double> z(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) z[(std::size_t)j] = std::cos((2.0 * j + 1.0) * pi_v<double> / (2.0 * q));
+  return z;
+}
+
+std::vector<double> chebyshev_weights(int q) {
+  FMMFFT_CHECK(q >= 1);
+  // For first-kind points, w_i = (-1)^i sin((2i+1)pi/(2Q)) up to a common
+  // factor that cancels in the barycentric quotient.
+  std::vector<double> w(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    double s = std::sin((2.0 * i + 1.0) * pi_v<double> / (2.0 * q));
+    w[(std::size_t)i] = (i % 2 == 0) ? s : -s;
+  }
+  return w;
+}
+
+void lagrange_eval(int q, double x, double* out) {
+  static thread_local int cached_q = -1;
+  static thread_local std::vector<double> z, w;
+  if (cached_q != q) {
+    z = chebyshev_points(q);
+    w = chebyshev_weights(q);
+    cached_q = q;
+  }
+  // Exact hit: l_i(z_j) = delta_ij. Also protects the barycentric form
+  // against division by zero.
+  for (int i = 0; i < q; ++i) {
+    if (x == z[(std::size_t)i]) {
+      for (int k = 0; k < q; ++k) out[k] = 0.0;
+      out[i] = 1.0;
+      return;
+    }
+  }
+  double denom = 0.0;
+  for (int i = 0; i < q; ++i) {
+    out[i] = w[(std::size_t)i] / (x - z[(std::size_t)i]);
+    denom += out[i];
+  }
+  for (int i = 0; i < q; ++i) out[i] /= denom;
+}
+
+std::vector<double> lagrange_matrix(int q, const double* x, index_t n) {
+  std::vector<double> e(static_cast<std::size_t>(q * n));
+  for (index_t j = 0; j < n; ++j) lagrange_eval(q, x[j], e.data() + j * q);
+  return e;
+}
+
+double lagrange_interpolate(int q, const double* coeff, double x) {
+  std::vector<double> l(static_cast<std::size_t>(q));
+  lagrange_eval(q, x, l.data());
+  double s = 0;
+  for (int i = 0; i < q; ++i) s += coeff[i] * l[(std::size_t)i];
+  return s;
+}
+
+}  // namespace fmmfft::fmm

@@ -1,0 +1,39 @@
+// Chebyshev interpolation machinery for the interpolative FMM (§4.3).
+//
+// The FMM represents far-field data by values of an implicit degree-(Q-1)
+// polynomial at the Q Chebyshev points of the first kind,
+//
+//     z_j = cos((2j+1)·pi / (2Q)),   j = 0..Q-1,
+//
+// and all translation operators (S2M, M2M, L2L, L2T) are evaluations of the
+// Lagrange basis polynomials l_i(z) over those points. Evaluation uses the
+// numerically stable barycentric form with the closed-form weights
+// w_i ∝ (-1)^i · sin((2i+1)·pi/(2Q)) for first-kind points.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fmmfft::fmm {
+
+/// Chebyshev points of the first kind on [-1, 1], z_0 > z_1 > ... > z_{Q-1}.
+std::vector<double> chebyshev_points(int q);
+
+/// Barycentric weights for Lagrange interpolation over chebyshev_points(q).
+std::vector<double> chebyshev_weights(int q);
+
+/// Evaluate all Q Lagrange basis polynomials at point x:
+/// out[i] = l_i(x), exact (out[i] = delta_ij) when x coincides with z_j.
+void lagrange_eval(int q, double x, double* out);
+
+/// Dense evaluation matrix E with E[i + j*q] = l_i(x_j) (column-major Q×n):
+/// column j holds all basis values at x_j. This is the transpose-free
+/// building block for the S2M and M2M operators.
+std::vector<double> lagrange_matrix(int q, const double* x, index_t n);
+
+/// Interpolate data given at the Chebyshev points to point x:
+/// returns sum_i coeff[i] * l_i(x).
+double lagrange_interpolate(int q, const double* coeff, double x);
+
+}  // namespace fmmfft::fmm

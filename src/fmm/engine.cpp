@@ -1,0 +1,352 @@
+#include "fmm/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "blas/blas.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/threadpool.hpp"
+#include "common/timer.hpp"
+#include "fmm/operators.hpp"
+
+namespace fmmfft::fmm {
+namespace {
+
+template <typename T>
+Buffer<T> cast_buffer(const std::vector<double>& src) {
+  Buffer<T> dst(static_cast<index_t>(src.size()));
+  for (index_t i = 0; i < dst.size(); ++i) dst[i] = static_cast<T>(src[(std::size_t)i]);
+  return dst;
+}
+
+}  // namespace
+
+template <typename T>
+Engine<T>::Engine(const Params& prm, int components, index_t g, index_t rank)
+    : prm_(prm), c_(components), g_(g), rank_(rank) {
+  prm_.validate_distributed(g);
+  FMMFFT_CHECK(components == 1 || components == 2);
+  FMMFFT_CHECK(rank >= 0 && rank < g);
+
+  cp_ = c_ * prm_.p;
+  cpm_ = c_ * (prm_.p - 1);
+  nb_leaf_ = prm_.leaves() / g_;
+
+  s2m_op_ = cast_buffer<T>(s2m_matrix(prm_.q, prm_.ml));
+  m2m_op_ = cast_buffer<T>(m2m_matrix(prm_.q));
+  s2t_tab_ = cast_buffer<T>(s2t_table(prm_, c_));
+  ones_q_ = Buffer<T>(prm_.q * prm_.boxes(prm_.b));
+  ones_q_.fill(T(1));
+
+  // Precompute the M2L operator slabs: the four cousin separations per
+  // non-base level, and the base-level all-pairs slabs when 2^B is small
+  // enough to cache (otherwise m2l_operator builds them per call).
+  for (int lev = prm_.b + 1; lev <= prm_.l(); ++lev)
+    for (index_t sep : level_separations())
+      m2l_cache_.emplace(std::make_pair(lev, sep), cast_buffer<T>(m2l_table(prm_, lev, sep, c_)));
+  const index_t base_boxes = prm_.boxes(prm_.b);
+  if (base_boxes <= 32) {
+    for (index_t sep = 2; sep <= base_boxes - 2; ++sep)
+      m2l_cache_.emplace(std::make_pair(prm_.b, sep),
+                         cast_buffer<T>(m2l_table(prm_, prm_.b, sep, c_)));
+  } else {
+    m2l_scratch_ = Buffer<T>(c_ * (prm_.p - 1) * prm_.q * prm_.q);
+  }
+
+  s_ = Buffer<T>(cp_ * prm_.ml * (nb_leaf_ + 2));
+  t_ = Buffer<T>(cp_ * prm_.ml * nb_leaf_);
+  r_ = Buffer<T>(cpm_);
+
+  const int l = prm_.l();
+  mult_.resize(static_cast<std::size_t>(l - prm_.b + 1));
+  local_.resize(static_cast<std::size_t>(l - prm_.b + 1));
+  for (int lev = prm_.b; lev <= l; ++lev) {
+    const index_t nbl = local_boxes(lev);
+    if (lev == prm_.b)
+      mult_[0] = Buffer<T>(cpm_ * prm_.q * prm_.boxes(prm_.b));  // global
+    else
+      mult_[(std::size_t)(lev - prm_.b)] = Buffer<T>(cpm_ * prm_.q * (nbl + 4));
+    local_[(std::size_t)(lev - prm_.b)] = Buffer<T>(cpm_ * prm_.q * nbl);
+  }
+}
+
+template <typename T>
+T* Engine<T>::source_box(index_t b) {
+  FMMFFT_ASSERT(b >= -1 && b <= nb_leaf_);
+  return s_.data() + cp_ * prm_.ml * (b + 1);
+}
+
+template <typename T>
+T* Engine<T>::target_box(index_t b) {
+  FMMFFT_ASSERT(b >= 0 && b < nb_leaf_);
+  return t_.data() + cp_ * prm_.ml * b;
+}
+
+template <typename T>
+T* Engine<T>::multipole_box(int level, index_t b) {
+  auto& buf = mult_[(std::size_t)(level - prm_.b)];
+  if (level == prm_.b) {
+    FMMFFT_ASSERT(b >= 0 && b < prm_.boxes(prm_.b));
+    return buf.data() + expansion_box_elems() * b;  // global indexing
+  }
+  FMMFFT_ASSERT(b >= -2 && b < local_boxes(level) + 2);
+  return buf.data() + expansion_box_elems() * (b + 2);
+}
+
+template <typename T>
+T* Engine<T>::local_box(int level, index_t b) {
+  FMMFFT_ASSERT(b >= 0 && b < local_boxes(level));
+  return local_[(std::size_t)(level - prm_.b)].data() + expansion_box_elems() * b;
+}
+
+template <typename T>
+void Engine<T>::zero() {
+  t_.fill(T(0));
+  for (auto& l : local_) l.fill(T(0));
+}
+
+template <typename T>
+void Engine<T>::s2m() {
+  WallTimer stage_timer_;
+  // M^L_{(p-1)qb} = S2M_qm S_pmb, skipping the p=0 slice (row offset c_).
+  const index_t q = prm_.q, ml = prm_.ml;
+  // Leaf multipoles live in the interior of M^L, or directly in this
+  // rank's slab of the global base buffer when L == B.
+  T* dst = prm_.l() == prm_.b ? multipole_box(prm_.b, box_offset(prm_.b))
+                              : multipole_box(prm_.l(), 0);
+  blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::T, cpm_, q, ml, T(1),
+                                source_box(0) + c_, cp_, cp_ * ml, s2m_op_.data(), q, 0, T(0),
+                                dst, cpm_, cpm_ * q, nb_leaf_);
+  stats_.push_back({"S2M", KernelClass::BatchedGemm,
+                    2.0 * double(cpm_) * double(q) * double(ml) * double(nb_leaf_),
+                    double(sizeof(T)) * (double(cpm_ * ml * nb_leaf_) +
+                                         double(cpm_ * q * nb_leaf_) + double(q * ml)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::m2m(int level) {
+  WallTimer stage_timer_;
+  FMMFFT_CHECK(level >= prm_.b && level < prm_.l());
+  const index_t q = prm_.q, nbl = local_boxes(level);
+  T* dst = level == prm_.b ? multipole_box(prm_.b, box_offset(prm_.b)) : multipole_box(level, 0);
+  blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::T, cpm_, q, 2 * q, T(1),
+                                multipole_box(level + 1, 0), cpm_, 2 * cpm_ * q,
+                                m2m_op_.data(), q, 0, T(0), dst, cpm_, cpm_ * q, nbl);
+  stats_.push_back({"M2M-" + std::to_string(level), KernelClass::BatchedGemm,
+                    4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
+                    double(sizeof(T)) * (double(2 * cpm_ * q * nbl) +
+                                         double(cpm_ * q * nbl) + double(2 * q * q)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::s2t() {
+  WallTimer stage_timer_;
+  // T_pib += S2T_{p(j-i)} S_pjb over the three-box neighbourhood; the p=0
+  // table slice is the identity, performing the C_0 = I copy in the same
+  // sweep. Operator entries come from the precomputed Toeplitz table.
+  // Blocked over the flattened component-by-p dimension so the active
+  // slice of the Toeplitz table stays cache-resident across all boxes.
+  const index_t ml = prm_.ml;
+  constexpr index_t kPcw = 64;
+  // Boxes are independent targets: share them across the pool; within a
+  // worker's range, block pc so the active table slice stays cached.
+  parallel_for(
+      nb_leaf_,
+      [&](index_t b_lo, index_t b_hi) {
+        for (index_t pc0 = 0; pc0 < cp_; pc0 += kPcw) {
+          const index_t w = std::min(kPcw, cp_ - pc0);
+          for (index_t b = b_lo; b < b_hi; ++b) {
+            const T* sb = source_box(b) + pc0;
+            T* tb = target_box(b) + pc0;
+            for (index_t i = 0; i < ml; ++i) {
+              T* trow = tb + cp_ * i;
+              for (index_t j = -ml; j < 2 * ml; ++j) {
+                const T* srow = sb + cp_ * j;
+                const T* tab = s2t_tab_.data() + (j - i + 2 * ml - 1) * cp_ + pc0;
+                for (index_t pc = 0; pc < w; ++pc) trow[pc] += tab[pc] * srow[pc];
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  stats_.push_back({"S2T", KernelClass::Custom,
+                    2.0 * 3.0 * double(ml) * double(ml) * double(cp_) * double(nb_leaf_),
+                    double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
+                                         2.0 * double(cp_ * ml * nb_leaf_)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+const T* Engine<T>::m2l_operator(int level, index_t s) {
+  auto it = m2l_cache_.find({level, s});
+  if (it != m2l_cache_.end()) return it->second.data();
+  const auto tab = m2l_table(prm_, level, s, c_);
+  for (index_t i = 0; i < m2l_scratch_.size(); ++i)
+    m2l_scratch_[i] = static_cast<T>(tab[(std::size_t)i]);
+  return m2l_scratch_.data();
+}
+
+template <typename T>
+void Engine<T>::apply_m2l(int level, index_t s, const T* tab, bool base) {
+  // Blocked over the flattened component-by-p dimension: the active
+  // Q×Q×kPcw operator slice stays cache-resident while streaming boxes.
+  const index_t q = prm_.q, nbl = local_boxes(level), off = box_offset(level);
+  const index_t nb_global = prm_.boxes(level);
+  constexpr index_t kPcw = 64;
+  // Boxes are independent targets: share across the pool, block pc inside.
+  parallel_for(
+      nbl,
+      [&](index_t b_lo, index_t b_hi) {
+        for (index_t pc0 = 0; pc0 < cpm_; pc0 += kPcw) {
+          const index_t w = std::min(kPcw, cpm_ - pc0);
+          for (index_t b = b_lo; b < b_hi; ++b) {
+            const index_t gb = off + b;
+            if (!base && !separation_applies(s, gb % 2 != 0)) continue;
+            const T* msrc = (base ? multipole_box(level, mod(gb + s, nb_global))
+                                  : multipole_box(level, b + s)) +
+                            pc0;
+            T* ldst = local_box(level, b) + pc0;
+            for (index_t i = 0; i < q; ++i) {
+              T* lrow = ldst + cpm_ * i;
+              for (index_t j = 0; j < q; ++j) {
+                const T* trow = tab + (i + q * j) * cpm_ + pc0;
+                const T* mrow = msrc + cpm_ * j;
+                for (index_t pc = 0; pc < w; ++pc) lrow[pc] += trow[pc] * mrow[pc];
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+template <typename T>
+void Engine<T>::m2l_level(int level) {
+  WallTimer stage_timer_;
+  FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
+  const index_t q = prm_.q, nbl = local_boxes(level);
+  for (index_t s : level_separations()) apply_m2l(level, s, m2l_operator(level, s), false);
+  // 3 cousins per box regardless of parity.
+  // Mops: M^l read once (with halo) and L^l accumulated (read + write) —
+  // the interaction-list reuse a tiled kernel achieves (§5.3 conventions).
+  stats_.push_back({"M2L-" + std::to_string(level), KernelClass::Custom,
+                    2.0 * 3.0 * double(q) * double(q) * double(cpm_) * double(nbl),
+                    double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
+                                         double(cpm_ * q * (nbl + 4))),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::m2l_base() {
+  WallTimer stage_timer_;
+  const index_t q = prm_.q, nbl = local_boxes(prm_.b);
+  const index_t nb_global = prm_.boxes(prm_.b);
+  for (index_t s = 2; s <= nb_global - 2; ++s)
+    apply_m2l(prm_.b, s, m2l_operator(prm_.b, s), true);
+  // Mops: the gathered global M^B streams once, L^B accumulates.
+  const double nsrc = double(nb_global - 3);
+  stats_.push_back({"M2L-B", KernelClass::Custom,
+                    2.0 * nsrc * double(q) * double(q) * double(cpm_) * double(nbl),
+                    double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
+                                         double(cpm_ * q * nb_global)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::reduce() {
+  WallTimer stage_timer_;
+  // r_{p-1} = sum_{q,b} M^B_{(p-1)qb}: the S2M/M2M columns sum to one, so
+  // base-level multipoles preserve the source sums (§4.8). One GEMV on the
+  // *global* base buffer — identical on every rank after the allgather.
+  const index_t cols = prm_.q * prm_.boxes(prm_.b);
+  blas::gemv<T>(blas::Op::N, cpm_, cols, T(1), multipole_box(prm_.b, 0), cpm_, ones_q_.data(),
+                1, T(0), r_.data(), 1);
+  stats_.push_back({"REDUCE", KernelClass::Gemv, 2.0 * double(cpm_) * double(cols),
+                    double(sizeof(T)) * (double(cpm_ * cols) + double(cpm_)), 1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::l2l(int level) {
+  WallTimer stage_timer_;
+  FMMFFT_CHECK(level >= prm_.b && level < prm_.l());
+  const index_t q = prm_.q, nbl = local_boxes(level);
+  blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, cpm_, 2 * q, q, T(1),
+                                local_box(level, 0), cpm_, cpm_ * q, m2m_op_.data(), q, 0, T(1),
+                                local_box(level + 1, 0), cpm_, 2 * cpm_ * q, nbl);
+  stats_.push_back({"L2L-" + std::to_string(level), KernelClass::BatchedGemm,
+                    4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
+                    double(sizeof(T)) * (double(cpm_ * q * nbl) + double(2 * q * q) +
+                                         2.0 * double(2 * cpm_ * q * nbl)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::l2t() {
+  WallTimer stage_timer_;
+  const index_t q = prm_.q, ml = prm_.ml;
+  blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, cpm_, ml, q, T(1),
+                                local_box(prm_.l(), 0), cpm_, cpm_ * q, s2m_op_.data(), q, 0,
+                                T(1), target_box(0) + c_, cp_, cp_ * ml, nb_leaf_);
+  stats_.push_back({"L2T", KernelClass::BatchedGemm,
+                    2.0 * double(cpm_) * double(ml) * double(q) * double(nb_leaf_),
+                    double(sizeof(T)) * (double(cpm_ * q * nb_leaf_) + double(q * ml) +
+                                         2.0 * double(cpm_ * ml * nb_leaf_)),
+                    1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::fill_source_halo_cyclic() {
+  WallTimer stage_timer_;
+  const index_t be = source_box_elems();
+  std::memcpy(source_box(-1), source_box(nb_leaf_ - 1), sizeof(T) * be);
+  std::memcpy(source_box(nb_leaf_), source_box(0), sizeof(T) * be);
+  stats_.push_back({"COMM-S", KernelClass::Copy, 0.0, double(sizeof(T)) * 2 * be, 1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::fill_multipole_halo_cyclic(int level) {
+  WallTimer stage_timer_;
+  FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
+  const index_t nbl = local_boxes(level), ee = expansion_box_elems();
+  std::memcpy(multipole_box(level, -2), multipole_box(level, nbl - 2), sizeof(T) * 2 * ee);
+  std::memcpy(multipole_box(level, nbl), multipole_box(level, 0), sizeof(T) * 2 * ee);
+  stats_.push_back({"COMM-M" + std::to_string(level), KernelClass::Copy, 0.0,
+                    double(sizeof(T)) * 4 * ee, 1});
+  stats_.back().seconds = stage_timer_.seconds();
+}
+
+template <typename T>
+void Engine<T>::run_single_node() {
+  FMMFFT_CHECK_MSG(g_ == 1, "run_single_node requires G == 1");
+  zero();
+  s2m();
+  fill_source_halo_cyclic();
+  s2t();
+  for (int lev = prm_.l() - 1; lev >= prm_.b; --lev) m2m(lev);
+  for (int lev = prm_.l(); lev > prm_.b; --lev) {
+    fill_multipole_halo_cyclic(lev);
+    m2l_level(lev);
+  }
+  m2l_base();
+  reduce();
+  for (int lev = prm_.b; lev < prm_.l(); ++lev) l2l(lev);
+  l2t();
+}
+
+template class Engine<float>;
+template class Engine<double>;
+
+}  // namespace fmmfft::fmm

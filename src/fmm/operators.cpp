@@ -1,0 +1,106 @@
+#include "fmm/operators.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fmm/chebyshev.hpp"
+
+namespace fmmfft::fmm {
+
+std::vector<double> s2m_matrix(int q, index_t ml) {
+  std::vector<double> pts(static_cast<std::size_t>(ml));
+  for (index_t m = 0; m < ml; ++m) pts[(std::size_t)m] = -1.0 + (2.0 * m + 1.0) / double(ml);
+  return lagrange_matrix(q, pts.data(), ml);
+}
+
+std::vector<double> m2m_matrix(int q) {
+  auto z = chebyshev_points(q);
+  std::vector<double> pts(static_cast<std::size_t>(2 * q));
+  for (int k = 0; k < q; ++k) {
+    pts[(std::size_t)k] = (z[(std::size_t)k] - 1.0) / 2.0;      // left child -> [-1, 0]
+    pts[(std::size_t)(q + k)] = (z[(std::size_t)k] + 1.0) / 2.0; // right child -> [0, 1]
+  }
+  return lagrange_matrix(q, pts.data(), 2 * q);
+}
+
+std::vector<double> s2t_table(const Params& prm, int components) {
+  const index_t ml = prm.ml, p_total = prm.p, n = prm.n;
+  const int c = components;
+  const index_t nk = 4 * ml - 1;  // k in (-2*ml, 2*ml)
+  std::vector<double> tab(static_cast<std::size_t>(nk * c * p_total), 0.0);
+  for (index_t ki = 0; ki < nk; ++ki) {
+    const index_t k = ki - (2 * ml - 1);
+    double* row = tab.data() + ki * c * p_total;
+    // p = 0: identity kernel (C_0 = I_M restricted to the near field).
+    if (k == 0)
+      for (int cc = 0; cc < c; ++cc) row[cc] = 1.0;
+    for (index_t p = 1; p < p_total; ++p) {
+      const double v = cot(pi_v<double> * double(p + p_total * k) / double(n));
+      for (int cc = 0; cc < c; ++cc) row[cc + c * p] = v;
+    }
+  }
+  return tab;
+}
+
+std::vector<double> m2l_table(const Params& prm, int level, index_t s, int components) {
+  const int q = prm.q, c = components;
+  const index_t pm1 = prm.p - 1, n = prm.n;
+  const double width = pi_v<double> / double(index_t(1) << level);
+  const auto z = chebyshev_points(q);
+  std::vector<double> tab(static_cast<std::size_t>(q * q * c * pm1));
+  for (index_t j = 0; j < q; ++j)
+    for (index_t i = 0; i < q; ++i) {
+      const double geom = width * (z[(std::size_t)j] / 2.0 - z[(std::size_t)i] / 2.0 + double(s));
+      double* row = tab.data() + (i + q * j) * c * pm1;
+      for (index_t pp = 0; pp < pm1; ++pp) {
+        const double v = cot(geom + pi_v<double> * double(pp + 1) / double(n));
+        for (int cc = 0; cc < c; ++cc) row[cc + c * pp] = v;
+      }
+    }
+  return tab;
+}
+
+std::complex<double> rho(index_t p, index_t p_total, index_t m) {
+  const double a = pi_v<double> * double(p) / double(p_total);
+  return std::exp(std::complex<double>(0.0, -a)) * std::sin(a) / double(m);
+}
+
+double cot_kernel(const Params& prm, index_t p, index_t target_m, index_t source_n) {
+  return cot(pi_v<double> / double(prm.m()) * double(source_n - target_m) +
+             pi_v<double> / double(prm.n) * double(p));
+}
+
+std::vector<std::complex<double>> dense_cp(const Params& prm, index_t p) {
+  const index_t m = prm.m();
+  std::vector<std::complex<double>> cpm(static_cast<std::size_t>(m * m));
+  if (p == 0) {
+    for (index_t i = 0; i < m; ++i) cpm[(std::size_t)(i + i * m)] = 1.0;
+    return cpm;
+  }
+  const std::complex<double> r = rho(p, prm.p, m);
+  for (index_t col = 0; col < m; ++col)      // col = source index n
+    for (index_t row = 0; row < m; ++row)    // row = target index m
+      cpm[(std::size_t)(row + col * m)] =
+          r * std::complex<double>(cot_kernel(prm, p, row, col), 1.0);
+  return cpm;
+}
+
+std::vector<Params> admissible_params(index_t n, index_t g, int q, int b_max, index_t min_p) {
+  std::vector<Params> out;
+  if (!is_pow2(n)) return out;
+  for (index_t p = min_p; p <= n / 2; p *= 2) {
+    for (index_t ml = 1; ml <= 1024; ml *= 2) {
+      const index_t m = n / p;
+      if (m % ml != 0 || !is_pow2(m / ml)) continue;
+      const int l = ilog2_exact(m / ml);
+      for (int b = 2; b <= std::min(l, b_max); ++b) {
+        Params withb{n, p, ml, b, q};
+        if (withb.is_admissible(g)) out.push_back(withb);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fmmfft::fmm

@@ -1,0 +1,77 @@
+// Builders for every dense operator of the FMM-FFT (§4.4–4.8).
+//
+// Operators are built in double precision and cast by the engine to the
+// working type. All are real-valued. Layouts are column-major with the
+// output/coefficient index fastest, chosen so each stage maps onto a single
+// BatchedGEMM or an on-the-fly tiled kernel exactly as in the paper.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fmm/params.hpp"
+
+namespace fmmfft::fmm {
+
+/// S2M operator, Q×M_L column-major: S2M[q + m*Q] = l_q(s_m) with
+/// s_m = -1 + (2m+1)/M_L. Columns sum to one (partition of unity) — the
+/// invariant behind the §4.8 reduction trick. L2T is its transpose.
+std::vector<double> s2m_matrix(int q, index_t ml);
+
+/// Flattened M2M = [M2M⁻ M2M⁺] operator, Q×2Q column-major:
+/// M2M[q + k*Q]       = l_q((z_k - 1)/2)   (left child, box 2b)
+/// M2M[q + (Q+k)*Q]   = l_q((z_k + 1)/2)   (right child, box 2b+1)
+/// L2L is its transpose.
+std::vector<double> m2m_matrix(int q);
+
+/// Toeplitz S2T operator (§4.6) expanded over the flattened component-by-p
+/// index pc = c + C·p:
+///   table[(k + 2·M_L - 1)·C·P + pc] = cot(pi/N · (p + P·k)),  p >= 1
+/// with the p = 0 slice set to the identity (1 at k = 0, else 0) so the
+/// near-field kernel also performs the C_0 = I copy. k = j - i ranges over
+/// (-2·M_L, 2·M_L).
+std::vector<double> s2t_table(const Params& prm, int components);
+
+/// M2L operator slab for one (level, separation s) pair (§4.7), expanded
+/// over pc' = c + C·p' where p' = p - 1 indexes the stored expansions:
+///   table[(i + Q*j)·C·(P-1) + pc'] = cot(pi/2^level·(z_j/2 - z_i/2 + s)
+///                                        + pi/N·(p'+1))
+std::vector<double> m2l_table(const Params& prm, int level, index_t s, int components);
+
+/// Post-processing scale rho_p = exp(-i·pi·p/P)·sin(pi·p/P)/M for p >= 1;
+/// rho_0 is unused (the p = 0 FMM is the identity and is not scaled).
+std::complex<double> rho(index_t p, index_t p_total, index_t m);
+
+/// Cotangent kernel entry [C~_p]_{mn} = cot(pi/M·(n-m) + pi/N·p).
+double cot_kernel(const Params& prm, index_t p, index_t target_m, index_t source_n);
+
+/// Dense M×M matrix of the full C_p = rho_p·(C~_p + i·1) for p >= 1, or the
+/// identity for p = 0. Column-major complex. O(M^2) storage: test/reference
+/// use only.
+std::vector<std::complex<double>> dense_cp(const Params& prm, index_t p);
+
+/// Interaction-list separations at a non-base level (§4.7): {-2,2,3} for
+/// even boxes, {-3,-2,2} for odd boxes.
+inline const index_t* cousin_separations(bool odd_box) {
+  static const index_t even[] = {-2, 2, 3};
+  static const index_t oddl[] = {-3, -2, 2};
+  return odd_box ? oddl : even;
+}
+inline constexpr int kNumCousins = 3;
+
+/// All distinct separations used across both parities at a non-base level.
+inline const std::vector<index_t>& level_separations() {
+  static const std::vector<index_t> s{-3, -2, 2, 3};
+  return s;
+}
+
+/// Does separation s apply to a box of the given parity?
+inline bool separation_applies(index_t s, bool odd_box) {
+  if (s == -2 || s == 2) return true;
+  if (s == 3) return !odd_box;
+  if (s == -3) return odd_box;
+  return false;
+}
+
+}  // namespace fmmfft::fmm

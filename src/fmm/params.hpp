@@ -1,0 +1,71 @@
+// FMM-FFT parameter set (Table 1) and admissibility rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft::fmm {
+
+/// The tunable parameters of the FMM-FFT for a transform of size N = M·P.
+/// There are P-1 periodic 1D FMMs of size M×M, each over a binary tree with
+/// 2^L leaves of M_L points, truncated at base level B, with Q-term
+/// Chebyshev expansions.
+struct Params {
+  index_t n = 0;   ///< Transform size N.
+  index_t p = 0;   ///< Number of FMMs factor; M = N / P.
+  index_t ml = 0;  ///< Points per leaf box per FMM (M_L).
+  int b = 2;       ///< Base (coarsest) tree level, B >= 2.
+  int q = 16;      ///< Expansion order.
+
+  index_t m() const { return n / p; }
+  int l() const { return ilog2_exact(m() / ml); }            ///< Leaf level L.
+  index_t leaves() const { return index_t(1) << l(); }       ///< 2^L.
+  index_t boxes(int level) const { return index_t(1) << level; }
+
+  /// Validate the standalone (single address space) constraints; throws on
+  /// violation. `g`-dependent constraints are in validate_distributed.
+  void validate() const {
+    FMMFFT_CHECK_MSG(n >= 4 && is_pow2(n), "N must be a power of two >= 4, got " << n);
+    FMMFFT_CHECK_MSG(p >= 2 && is_pow2(p) && p < n, "P must be a power of two in [2, N), got " << p);
+    FMMFFT_CHECK_MSG(ml >= 1 && is_pow2(ml), "M_L must be a power of two >= 1, got " << ml);
+    FMMFFT_CHECK_MSG(m() % ml == 0, "M_L must divide M = N/P");
+    FMMFFT_CHECK_MSG(b >= 2, "base level B must be >= 2, got " << b);
+    FMMFFT_CHECK_MSG(l() >= b, "leaf level L=" << l() << " must be >= base level B=" << b);
+    FMMFFT_CHECK_MSG(q >= 1, "expansion order Q must be >= 1");
+  }
+
+  /// Additional constraints for execution on `g` processing elements.
+  void validate_distributed(index_t g) const {
+    validate();
+    FMMFFT_CHECK_MSG(g >= 1 && is_pow2(g), "G must be a power of two >= 1");
+    FMMFFT_CHECK_MSG(boxes(b) >= g, "need 2^B >= G so every device owns a base box");
+    FMMFFT_CHECK_MSG(m() % g == 0 && p % g == 0, "G must divide both M and P for the 2D FFT");
+  }
+
+  bool is_admissible(index_t g = 1) const {
+    try {
+      validate_distributed(g);
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
+  }
+
+  std::string to_string() const {
+    return "N=" + std::to_string(n) + " P=" + std::to_string(p) + " M=" + std::to_string(m()) +
+           " ML=" + std::to_string(ml) + " L=" + std::to_string(l()) + " B=" + std::to_string(b) +
+           " Q=" + std::to_string(q);
+  }
+};
+
+/// Enumerate all admissible parameter sets for a transform of size N on G
+/// devices, within the paper's practical search space: P in [32, N/ML_min],
+/// M_L in [1, 1024], B in [2, min(L, b_max)], Q fixed by precision.
+std::vector<Params> admissible_params(index_t n, index_t g, int q, int b_max = 8,
+                                      index_t min_p = 32);
+
+}  // namespace fmmfft::fmm

@@ -1,0 +1,80 @@
+#include "model/arch.hpp"
+
+namespace fmmfft::model {
+
+ArchParams k40c_pcie(int g) {
+  ArchParams a;
+  a.name = std::to_string(g) + "xK40c-PCIe";
+  a.num_devices = g;
+  a.gamma_f = 2.8e12;   // §5.4
+  a.gamma_d = 1.2e12;
+  a.beta_mem = 100e9;
+  // §6 quotes 13.2 GB/s achieved P2P. Transpose traffic is bidirectional
+  // and staged through host memory on PCIe, so the *effective* sustained
+  // per-direction rate a strided all-to-all sees is substantially lower.
+  a.link_bw = 4.5e9;
+  a.link_latency = 15e-6;
+  a.launch_overhead = 8e-6;
+  // The 2xK40c system is full-duplex PCIe between exactly two endpoints:
+  // the opposing transfers of a transpose do not contend.
+  a.links_shared = false;
+  // cuBLAS 8.0 BatchedGEMM underperforms on K40 (§5.4 / Fig. 1a).
+  a.eff_batched_gemm = 0.55;
+  a.eff_custom = 0.60;
+  a.eff_gemv = 0.50;
+  a.eff_fft = 0.85;
+  return a;
+}
+
+ArchParams p100_nvlink(int g) {
+  ArchParams a;
+  a.name = std::to_string(g) + "xP100-NVLink";
+  a.num_devices = g;
+  a.gamma_f = 10e12;    // §5.4
+  a.gamma_d = 5e12;
+  a.beta_mem = 360e9;
+  // §6 quotes 36 GB/s achieved NVLink P2P, which we read as the aggregate
+  // bidirectional rate of a pairwise exchange: 18 GB/s per direction.
+  a.link_bw = 18e9;
+  a.link_latency = 10e-6;
+  a.launch_overhead = 8e-6;
+  a.links_shared = false;  // point-to-point NVLink mesh
+  a.eff_batched_gemm = 0.92;
+  a.eff_custom = 0.60;
+  a.eff_gemv = 0.50;
+  a.eff_fft = 0.85;
+  return a;
+}
+
+ArchParams native_host(int g, double gemm_flops_per_s_f32, double gemm_flops_per_s_f64,
+                       double stream_bytes_per_s) {
+  ArchParams a;
+  a.name = "native-host-x" + std::to_string(g);
+  a.num_devices = g;
+  a.gamma_f = gemm_flops_per_s_f32;
+  a.gamma_d = gemm_flops_per_s_f64;
+  a.beta_mem = stream_bytes_per_s;
+  // Simulated devices share host memory: model the "link" as a memcpy.
+  a.link_bw = stream_bytes_per_s / 2.0;
+  a.link_latency = 1e-6;
+  a.launch_overhead = 0.2e-6;  // a function call, not a CUDA launch
+  a.links_shared = true;
+  a.eff_batched_gemm = 1.0;
+  a.eff_custom = 1.0;
+  a.eff_gemv = 1.0;
+  a.eff_fft = 1.0;
+  return a;
+}
+
+ArchParams multinode(const ArchParams& node, int nodes, double internode_bw,
+                     double internode_latency) {
+  ArchParams a = node;
+  a.name = std::to_string(nodes) + "x(" + node.name + ")";
+  a.devices_per_node = node.num_devices;
+  a.num_devices = node.num_devices * nodes;
+  a.internode_bw = internode_bw;
+  a.internode_latency = internode_latency;
+  return a;
+}
+
+}  // namespace fmmfft::model

@@ -1,0 +1,104 @@
+// Architecture parameter sets for the roofline/performance model (§5.4, §6).
+//
+// gamma/beta for the GPUs are the paper's "practical" values measured from
+// cuBLAS GEMM; link bandwidths are the paper's *achieved* P2P numbers
+// (13.2 GB/s PCIe on 2×K40c, 36 GB/s NVLink on the P100 systems). The
+// per-kernel-class efficiencies encode the paper's §6.2 findings: cuBLAS
+// BatchedGEMM is the most efficient stage, the custom CUDA M2L/S2T kernels
+// reach ≈60% of roofline.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "fmm/engine.hpp"
+
+namespace fmmfft::model {
+
+struct ArchParams {
+  std::string name;
+  int num_devices = 1;
+
+  double gamma_f = 1e12;       ///< peak practical f32 flop/s (per device)
+  double gamma_d = 5e11;       ///< peak practical f64 flop/s
+  double beta_mem = 1e11;      ///< practical device memory bandwidth, B/s
+  double link_bw = 1e10;       ///< achieved P2P bandwidth per pair, B/s
+  double link_latency = 10e-6; ///< per-message latency, s
+  double launch_overhead = 8e-6;  ///< per kernel launch, s
+  double sync_overhead = 25e-6;   ///< host-side synchronization / plan
+                                  ///< switch between library phases, s
+  bool links_shared = false;   ///< PCIe-style shared bus (transfers serialize)
+
+  // -- Multi-node extension (§7: "Extending the results to multiple nodes").
+  // Devices [0, devices_per_node) share a node; traffic between nodes pays
+  // the NIC parameters and serializes on each node's NIC engines.
+  int devices_per_node = 1 << 30;  ///< default: everything on one node
+  double internode_bw = 10e9;      ///< per-direction NIC bandwidth, B/s
+  double internode_latency = 2e-6; ///< per-message NIC latency, s
+
+  bool multinode() const { return devices_per_node < num_devices; }
+  int node_of(int device) const { return device / devices_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  double eff_batched_gemm = 0.92;
+  double eff_custom = 0.60;
+  double eff_gemv = 0.50;
+  double eff_fft = 0.85;
+
+  double gamma(bool is_double) const { return is_double ? gamma_d : gamma_f; }
+
+  double efficiency(fmm::KernelClass k) const {
+    switch (k) {
+      case fmm::KernelClass::BatchedGemm: return eff_batched_gemm;
+      case fmm::KernelClass::Custom: return eff_custom;
+      case fmm::KernelClass::Gemv: return eff_gemv;
+      case fmm::KernelClass::Copy: return 1.0;
+    }
+    return 1.0;
+  }
+};
+
+/// Eq. (3): minimum wall time of a computation with W flops and D bytes of
+/// memory traffic at 100% efficiency.
+inline double roofline_seconds(double w_flops, double d_bytes, const ArchParams& arch,
+                               bool is_double) {
+  const double g = arch.gamma(is_double);
+  if (w_flops <= 0) return d_bytes / arch.beta_mem;
+  const double intensity_rate = arch.beta_mem * w_flops / (d_bytes > 0 ? d_bytes : 1.0);
+  return w_flops / std::min(g, intensity_rate);
+}
+
+/// One point-to-point message of `bytes` payload over an intra-node link.
+inline double link_seconds(double bytes, const ArchParams& arch) {
+  return arch.link_latency + bytes / arch.link_bw;
+}
+
+/// One message crossing the node boundary (NIC path).
+inline double internode_link_seconds(double bytes, const ArchParams& arch) {
+  return arch.internode_latency + bytes / arch.internode_bw;
+}
+
+/// Derive a multi-node system from a single-node arch: `nodes` copies of
+/// `node` joined by NICs of the given bandwidth (per direction).
+ArchParams multinode(const ArchParams& node, int nodes, double internode_bw = 10e9,
+                     double internode_latency = 2e-6);
+
+/// All-to-all exchange time: every device sends `bytes_per_pair` to each of
+/// the other G-1 devices. Dedicated links run pairs concurrently; a shared
+/// bus serializes them.
+inline double all_to_all_seconds(double bytes_per_pair, const ArchParams& arch) {
+  const int g = arch.num_devices;
+  if (g <= 1) return 0.0;
+  const double per = link_seconds(bytes_per_pair, arch);
+  return arch.links_shared ? per * (g - 1) * g : per * (g - 1);
+}
+
+/// Paper presets. `g` overrides the device count (2 or 8 in the paper).
+ArchParams k40c_pcie(int g = 2);
+ArchParams p100_nvlink(int g = 2);
+/// This host, with gamma/beta calibrated at runtime from the BLAS substrate
+/// (used by the native-measurement benches).
+ArchParams native_host(int g, double gemm_flops_per_s_f32, double gemm_flops_per_s_f64,
+                       double stream_bytes_per_s);
+
+}  // namespace fmmfft::model

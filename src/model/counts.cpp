@@ -1,0 +1,203 @@
+#include "model/counts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace fmmfft::model {
+
+double v_top(int b, index_t g) {
+  const double logg = std::log2(double(g));
+  if (double(b) > logg) return double(index_t(1) << b) / double(g);
+  return double(b) + 1.0 - logg;
+}
+
+double level_sum(int l, int b, index_t g) {
+  return double(index_t(1) << l) / double(g) - v_top(b, g);
+}
+
+std::vector<StageCount> exact_fmm_counts(const fmm::Params& prm, int c, index_t g) {
+  prm.validate_distributed(g);
+  using KC = fmm::KernelClass;
+  std::vector<StageCount> out;
+  const double q = prm.q, ml = prm.ml;
+  const double cp = double(c) * prm.p, cpm = double(c) * (prm.p - 1);
+  const int l = prm.l(), b = prm.b;
+  const double nb = double(prm.leaves()) / double(g);
+  auto nbl = [&](int lev) { return double(prm.boxes(lev)) / double(g); };
+
+  out.push_back({"S2M", KC::BatchedGemm, 2.0 * cpm * q * ml * nb,
+                 cpm * ml * nb + cpm * q * nb + q * ml, 1});
+  out.push_back({"S2T", KC::Custom, 6.0 * ml * ml * cp * nb,
+                 cp * ml * (nb + 2) + 2.0 * cp * ml * nb, 1});
+  for (int lev = l - 1; lev >= b; --lev)
+    out.push_back({"M2M-" + std::to_string(lev), KC::BatchedGemm, 4.0 * cpm * q * q * nbl(lev),
+                   3.0 * cpm * q * nbl(lev) + 2.0 * q * q, 1});
+  for (int lev = l; lev > b; --lev)
+    out.push_back({"M2L-" + std::to_string(lev), KC::Custom, 6.0 * q * q * cpm * nbl(lev),
+                   2.0 * cpm * q * nbl(lev) + cpm * q * (nbl(lev) + 4), 1});
+  const double base_boxes = double(prm.boxes(b));
+  out.push_back({"M2L-B", KC::Custom, 2.0 * (base_boxes - 3) * q * q * cpm * nbl(b),
+                 2.0 * cpm * q * nbl(b) + cpm * q * base_boxes, 1});
+  out.push_back({"REDUCE", KC::Gemv, 2.0 * cpm * q * base_boxes,
+                 cpm * q * base_boxes + cpm, 1});
+  for (int lev = b; lev < l; ++lev)
+    out.push_back({"L2L-" + std::to_string(lev), KC::BatchedGemm, 4.0 * cpm * q * q * nbl(lev),
+                   cpm * q * nbl(lev) + 2.0 * q * q + 4.0 * cpm * q * nbl(lev), 1});
+  out.push_back({"L2T", KC::BatchedGemm, 2.0 * cpm * ml * q * nb,
+                 cpm * q * nb + q * ml + 2.0 * cpm * ml * nb, 1});
+  return out;
+}
+
+double paper_fmm_flops(const fmm::Params& prm, int c, index_t g) {
+  const double q = prm.q, ml = prm.ml, pm1 = double(prm.p - 1);
+  const int b = prm.b;
+  const double lg = double(prm.leaves()) / double(g);  // 2^L / G
+  const double bb = double(prm.boxes(b));
+  double f = 0;
+  f += 2.0 * 2.0 * c * ml * double(prm.leaves()) * pm1 * q / double(g);  // S2M + L2T
+  f += 2.0 * 4.0 * c * (lg - v_top(b, g)) * pm1 * q * q;                  // M2M + L2L
+  f += 6.0 * c * ml * ml * double(prm.leaves()) * pm1 / double(g);        // S2T
+  f += 6.0 * c * (2.0 * lg - v_top(b + 1, g)) * pm1 * q * q;              // M2L-l
+  f += 2.0 * c * bb * (bb - 3.0) * pm1 * q * q / double(g);               // M2L-B
+  f += c * bb * pm1 * q;                                                  // reduce
+  return f;
+}
+
+double paper_fmm_mops(const fmm::Params& prm, int c, index_t g, bool include_operator_reads) {
+  const double q = prm.q, ml = prm.ml, pm1 = double(prm.p - 1);
+  const int l = prm.l(), b = prm.b;
+  const double lg = double(prm.leaves()) / double(g);
+  const double bb = double(prm.boxes(b));
+  double d = 0;
+  d += 2.0 * q * ml + 3.0 * c * pm1 * ml * lg + 2.0 * c * pm1 * q * lg;  // S2M + L2T
+  d += 4.0 * q * q + 8.0 * c * pm1 * q * (lg - v_top(b, g));             // M2M + L2L
+  d += (2.0 * lg + 2.0) * c * ml * pm1;                                   // S2T tensors
+  d += 2.0 * level_sum(l + 1, b + 1, g) * c * pm1 * q;                    // M2L-l tensors
+  d += (bb + bb / double(g)) * c * pm1 * q;                               // M2L-B tensors
+  d += c * pm1 + c * bb * pm1 * q;                                        // reduce
+  if (include_operator_reads) {
+    d += 4.0 * ml * pm1;                       // S2T Toeplitz entries
+    d += 4.0 * pm1 * q * q * double(l - b);    // M2L-l entries
+    d += (bb - 3.0) * pm1 * q * q;             // M2L-B entries
+  }
+  return d;
+}
+
+CommCount paper_fmm_comm(const fmm::Params& prm, int c, index_t g) {
+  CommCount cc;
+  if (g <= 1) return cc;
+  const double q = prm.q, ml = prm.ml, pm1 = double(prm.p - 1);
+  cc.s_halo = 2.0 * c * pm1 * ml;
+  cc.m_halo = 4.0 * c * double(prm.l() - prm.b) * pm1 * q;
+  cc.m_base = double(prm.boxes(prm.b)) * c * pm1 * q;
+  return cc;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double kernel_seconds(double flops, double bytes, fmm::KernelClass kc, const ArchParams& arch,
+                      bool is_double, bool apply_efficiency) {
+  const double t = roofline_seconds(flops, bytes, arch, is_double);
+  if (!apply_efficiency) return t;
+  return arch.launch_overhead + t / arch.efficiency(kc);
+}
+
+}  // namespace
+
+double fft_kernel_seconds(double total_points, double len, const Workload& w,
+                          const ArchParams& arch, bool apply_efficiency) {
+  // FFT data is always complex regardless of the input type.
+  const double cbytes = 2.0 * w.real_bytes();
+  const double flops = 5.0 * total_points * (len > 1 ? std::log2(len) : 0.0);
+  const double bytes = 4.0 * total_points * cbytes;  // two read+write sweeps
+  const double t = roofline_seconds(flops, bytes, arch, w.is_double);
+  if (!apply_efficiency) return t;
+  return arch.launch_overhead + t / arch.eff_fft;
+}
+
+double fmm_stage_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                         bool apply_efficiency) {
+  double t = 0;
+  for (const auto& st : exact_fmm_counts(prm, w.c(), arch.num_devices))
+    t += kernel_seconds(st.flops, st.mem_scalars * w.real_bytes(), st.kernel, arch, w.is_double,
+                        apply_efficiency);
+  // FMM halo/allgather communication is overlapped with the compute above
+  // (§5.2: "reliably hidden"); it only binds when compute is tiny.
+  const double comm_bytes = paper_fmm_comm(prm, w.c(), arch.num_devices).total() * w.real_bytes();
+  const double comm = arch.num_devices > 1
+                          ? (prm.l() - prm.b + 2) * arch.link_latency + comm_bytes / arch.link_bw
+                          : 0.0;
+  return std::max(t, comm);
+}
+
+double fft2d_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                     bool apply_efficiency) {
+  const index_t g = arch.num_devices;
+  const double local_pts = double(prm.n) / double(g);
+  const double fft1 = fft_kernel_seconds(local_pts, double(prm.p), w, arch, apply_efficiency);
+  const double fft2 = fft_kernel_seconds(local_pts, double(prm.m()), w, arch, apply_efficiency);
+  const double cbytes = 2.0 * w.real_bytes();
+  const double a2a = all_to_all_seconds(double(prm.n) / double(g * g) * cbytes, arch);
+  // One all-to-all, overlapped with the element-wise/FFT compute.
+  return std::max(fft1 + fft2, a2a);
+}
+
+double fmmfft_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                      bool apply_efficiency) {
+  // Post-processing is fused into the 2D-FFT load: one extra sweep of T.
+  const double post_bytes = 2.0 * double(prm.n) / arch.num_devices * 2.0 * w.real_bytes();
+  const double post = roofline_seconds(8.0 * double(prm.n) / arch.num_devices, post_bytes, arch,
+                                       w.is_double);
+  return fmm_stage_seconds(prm, w, arch, apply_efficiency) + post +
+         fft2d_seconds(prm, w, arch, apply_efficiency);
+}
+
+double baseline1d_seconds(const Workload& w, const ArchParams& arch, bool apply_efficiency) {
+  const index_t g = arch.num_devices;
+  const index_t n = w.n;
+  // Balanced radix split N = M'·P' (pow2).
+  const int ln = ilog2_exact(n);
+  const index_t mfac = index_t(1) << (ln / 2 + ln % 2);
+  const index_t pfac = n / mfac;
+  const double local_pts = double(n) / double(g);
+  double compute = fft_kernel_seconds(local_pts, double(mfac), w, arch, apply_efficiency) +
+                   fft_kernel_seconds(local_pts, double(pfac), w, arch, apply_efficiency);
+  // Twiddle multiply: 6 flops and one read+write per complex point.
+  const double cbytes = 2.0 * w.real_bytes();
+  compute += kernel_seconds(6.0 * local_pts, 2.0 * local_pts * cbytes,
+                            fmm::KernelClass::Custom, arch, w.is_double, apply_efficiency);
+  if (g == 1) return compute;
+  const double a2a = all_to_all_seconds(double(n) / double(g * g) * cbytes, arch);
+  // Three transposes, near-perfect overlap with compute (Fig. 2 top).
+  return std::max(3.0 * a2a, compute);
+}
+
+double crossover_ratio(const fmm::Params& prm, const Workload& w, const ArchParams& arch) {
+  const double wf = paper_fmm_flops(prm, w.c(), arch.num_devices);
+  const double d = paper_fmm_mops(prm, w.c(), arch.num_devices) * w.real_bytes();
+  const double rate = std::min(arch.gamma(w.is_double), arch.beta_mem * wf / d);
+  return arch.link_bw / rate;  // bytes transferable per flop-time: §6's beta/min(gamma, beta W/D)
+}
+
+fmm::Params search_best_params(index_t n, index_t g, const Workload& w, const ArchParams& arch,
+                               int q, int b_max) {
+  auto cands = fmm::admissible_params(n, g, q, b_max);
+  FMMFFT_CHECK_MSG(!cands.empty(), "no admissible FMM-FFT parameters for N=" << n << " G=" << g);
+  const fmm::Params* best = nullptr;
+  double best_t = 1e300;
+  for (const auto& prm : cands) {
+    const double t = fmmfft_seconds(prm, w, arch, /*apply_efficiency=*/true);
+    if (t < best_t) {
+      best_t = t;
+      best = &prm;
+    }
+  }
+  return *best;
+}
+
+}  // namespace fmmfft::model

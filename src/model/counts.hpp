@@ -1,0 +1,103 @@
+// Closed-form operation/communication counts of the FMM-FFT (§5.1–§5.3)
+// and model execution times (§5.4) for both the FMM-FFT and the baseline
+// three-transpose distributed 1D FFT.
+//
+// Two flavours of counts exist:
+//  * `exact_*` — exact sums over the engine's actual launches (every box,
+//    every level, including the p = 0 identity slice of S2T). These must
+//    agree launch-for-launch with fmm::Engine::stats(), which the tests
+//    enforce.
+//  * `paper_*` — the paper's closed forms with v(L,B,G), used to validate
+//    that the closed forms track the exact counts (the paper's Eq. analysis).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fmm/params.hpp"
+#include "model/arch.hpp"
+
+namespace fmmfft::model {
+
+/// Sum_{l=B}^{L-1} ceil(2^l / G) = 2^L/G - v(B,G) (§5, assumes L > log G).
+double v_top(int b, index_t g);
+double level_sum(int l, int b, index_t g);  ///< v(L,B,G) in the paper
+
+/// Per-stage counts for one device (divide-by-G conventions as in §5).
+struct StageCount {
+  std::string name;
+  fmm::KernelClass kernel = fmm::KernelClass::Custom;
+  double flops = 0;
+  double mem_scalars = 0;  ///< real scalars read+written (multiply by
+                           ///< sizeof(T) for bytes)
+  index_t launches = 0;
+};
+
+/// Exact per-stage counts matching fmm::Engine::stats() launch for launch.
+/// `c` is the component count C (1 real, 2 complex).
+std::vector<StageCount> exact_fmm_counts(const fmm::Params& prm, int c, index_t g);
+
+/// Paper closed-form totals (§5.1 flops, §5.3 mops dominant terms).
+double paper_fmm_flops(const fmm::Params& prm, int c, index_t g);
+double paper_fmm_mops(const fmm::Params& prm, int c, index_t g,
+                      bool include_operator_reads = false);
+
+/// §5.2 per-process communication counts, in scalars sent per device.
+struct CommCount {
+  double s_halo = 0;      ///< 2·C·(P-1)·M_L
+  double m_halo = 0;      ///< 4·C·(L-B)·(P-1)·Q
+  double m_base = 0;      ///< 2^B·C·(P-1)·Q
+  double total() const { return s_halo + m_halo + m_base; }
+};
+CommCount paper_fmm_comm(const fmm::Params& prm, int c, index_t g);
+
+// ---------------------------------------------------------------------------
+// Model wall times (Eq. 3 plus launch and link costs).
+
+/// Workload description shared by the time models.
+struct Workload {
+  index_t n;
+  bool is_complex;
+  bool is_double;
+  int c() const { return is_complex ? 2 : 1; }
+  /// Bytes of one transform element as stored (complex doubles = 16).
+  double element_bytes() const { return (is_double ? 8.0 : 4.0) * (is_complex ? 2.0 : 1.0); }
+  double real_bytes() const { return is_double ? 8.0 : 4.0; }
+};
+
+/// Model time of one local (per-device) complex FFT batch totalling
+/// `total_points` points of transforms of length `len`.
+double fft_kernel_seconds(double total_points, double len, const Workload& w,
+                          const ArchParams& arch, bool apply_efficiency);
+
+/// Model FMM stage time: sum of per-launch Eq.-3 times (+ launch overhead
+/// when apply_efficiency). Pure-roofline mode uses 100% efficiency and no
+/// launch cost — the red "Model" bars of Fig. 3.
+double fmm_stage_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                         bool apply_efficiency);
+
+/// Model time of the distributed M×P 2D FFT (one all-to-all, overlapped).
+double fft2d_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                     bool apply_efficiency);
+
+/// Model time of the full FMM-FFT (FMM + post + 2D FFT; FMM comm hidden).
+double fmmfft_seconds(const fmm::Params& prm, const Workload& w, const ArchParams& arch,
+                      bool apply_efficiency);
+
+/// Model time of the baseline three-transpose distributed 1D FFT
+/// (the cuFFTXT stand-in): perfect comm/compute overlap, so
+/// max(3 all-to-alls, compute) plus per-stage launch costs.
+double baseline1d_seconds(const Workload& w, const ArchParams& arch, bool apply_efficiency);
+
+/// §6: communication-to-flop crossover ratio beta / min(gamma, beta·W/D)
+/// evaluated for the FMM-FFT workload at size n — the paper computes
+/// ≈0.031 byte/flop on P100 (double).
+double crossover_ratio(const fmm::Params& prm, const Workload& w, const ArchParams& arch);
+
+/// Best admissible parameters by model FMM-FFT time.
+fmm::Params search_best_params(index_t n, index_t g, const Workload& w, const ArchParams& arch,
+                               int q, int b_max = 8);
+
+}  // namespace fmmfft::model

@@ -1,0 +1,28 @@
+// Energy model (§1: compressed and dense algorithms "harmoniously improve
+// the energy-efficiency of the computations as well").
+//
+// A simple activity-based model on top of the timeline simulation: device
+// compute busy-time at compute power, transfer busy-time at link power,
+// and makespan × device-count at idle/static power. Communication-bound
+// algorithms burn static power while links drain — which is exactly why
+// the FMM-FFT's single transpose also wins on energy.
+#pragma once
+
+#include "model/arch.hpp"
+
+namespace fmmfft::model {
+
+struct PowerParams {
+  double compute_w = 250.0;  ///< per device while a kernel runs (P100 TDP-ish)
+  double link_w = 25.0;      ///< per active transfer direction
+  double idle_w = 50.0;      ///< per device static draw over the makespan
+};
+
+/// Energy in joules of a simulated run described by its busy aggregates.
+inline double energy_joules(double makespan_s, double kernel_busy_s, double comm_busy_s,
+                            int devices, const PowerParams& p = {}) {
+  return kernel_busy_s * p.compute_w + comm_busy_s * p.link_w +
+         makespan_s * devices * p.idle_w;
+}
+
+}  // namespace fmmfft::model

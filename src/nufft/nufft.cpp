@@ -1,0 +1,198 @@
+#include "nufft/nufft.hpp"
+
+#include <cmath>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "fft/fft.hpp"
+#include "nufft/nufmm.hpp"
+
+namespace fmmfft::nufft {
+
+template <typename T>
+struct NufftType2<T>::Impl {
+  using Cx = std::complex<T>;
+
+  index_t n;
+  std::vector<T> x;           // targets, original order
+  NonuniformFmm<T> fmm;
+  fft::Plan1D<T> ifft;
+  std::vector<index_t> hit_src;        // target -> coincident source or -1
+  mutable Buffer<Cx> samples, charges; // work: f(t_m), (-1)^m f(t_m)/n
+
+  Impl(index_t n_, std::vector<T> targets, int q, index_t ml, int b)
+      : n(n_),
+        x(targets),
+        fmm(n_, std::move(targets), q, ml, b),
+        ifft(n_),
+        samples(n_),
+        charges(n_) {
+    hit_src.assign(x.size(), -1);
+    for (const auto& [j, m] : fmm.exact_hits()) hit_src[(std::size_t)j] = m;
+  }
+
+  void execute(const Cx* spectrum, Cx* out) const {
+    // Split off the Nyquist coefficient (handled analytically) and get the
+    // band-limited uniform samples with one unnormalized inverse FFT.
+    const Cx cny = spectrum[n / 2];
+    for (index_t k = 0; k < n; ++k) samples[k] = spectrum[k];
+    samples[n / 2] = Cx(0);
+    ifft.execute(samples.data(), fft::Direction::Inverse);
+
+    for (index_t m = 0; m < n; ++m)
+      charges[m] = (m % 2 == 0 ? T(1) : T(-1)) / T(n) * samples[m];
+
+    fmm.apply(charges.data(), out);
+
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double half_nx = double(n) / 2.0 * double(x[j]);
+      if (hit_src[j] >= 0) {
+        // Coincident target: interpolation collapses to the sample itself.
+        const index_t m = hit_src[j];
+        out[j] = samples[m] + cny * T(m % 2 == 0 ? 1.0 : -1.0);
+      } else {
+        out[j] = T(std::sin(half_nx)) * out[j] + cny * T(std::cos(half_nx));
+      }
+    }
+  }
+
+  void reference(const Cx* spectrum, Cx* out) const {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      std::complex<double> acc = 0;
+      for (index_t k = 0; k < n; ++k) {
+        const double kt = k < n / 2 ? double(k) : double(k) - double(n);
+        const std::complex<double> ck(spectrum[k].real(), spectrum[k].imag());
+        if (k == n / 2)
+          acc += ck * std::cos(double(n) / 2.0 * double(x[j]));
+        else
+          acc += ck * std::exp(std::complex<double>(0.0, kt * double(x[j])));
+      }
+      out[j] = Cx(T(acc.real()), T(acc.imag()));
+    }
+  }
+};
+
+template <typename T>
+struct NufftType1<T>::Impl {
+  using Cx = std::complex<T>;
+
+  index_t n;
+  std::vector<T> x;
+  NonuniformFmm<T> fmm;
+  fft::Plan1D<T> fftp;
+  std::vector<index_t> hit_src;
+  mutable Buffer<Cx> weighted, spread;
+
+  Impl(index_t n_, std::vector<T> points, int q, index_t ml, int b)
+      : n(n_),
+        x(points),
+        fmm(n_, std::move(points), q, ml, b),
+        fftp(n_),
+        weighted(static_cast<index_t>(x.size())),
+        spread(n_) {
+    hit_src.assign(x.size(), -1);
+    for (const auto& [j, m] : fmm.exact_hits()) hit_src[(std::size_t)j] = m;
+  }
+
+  void execute(const Cx* g, Cx* spectrum) const {
+    // Exact conjugate-transpose of the type-2 pipeline:
+    //   spectrum = FFT( D_{(-1)^m/n} · Kᵀ · D_{sin(n·x/2)} · g ) + hit rows,
+    // then the Nyquist bin replaced by its cosine-convention value.
+    for (std::size_t j = 0; j < x.size(); ++j)
+      weighted[(index_t)j] = hit_src[j] >= 0
+                                 ? Cx(0)
+                                 : Cx(T(std::sin(double(n) / 2.0 * double(x[j])))) * g[j];
+    fmm.apply_transpose(weighted.data(), spread.data());
+    for (index_t m = 0; m < n; ++m)
+      spread[m] *= (m % 2 == 0 ? T(1) : T(-1)) / T(n);
+    // Grid-coincident samples contribute the full DFT row of their point.
+    for (std::size_t j = 0; j < x.size(); ++j)
+      if (hit_src[j] >= 0) spread[hit_src[j]] += g[j];
+    for (index_t m = 0; m < n; ++m) spectrum[m] = spread[m];
+    fftp.execute(spectrum, fft::Direction::Forward);
+    // Nyquist bin: symmetric cosine convention, evaluated directly.
+    std::complex<double> ny = 0;
+    for (std::size_t j = 0; j < x.size(); ++j)
+      ny += std::complex<double>(g[j].real(), g[j].imag()) *
+            std::cos(double(n) / 2.0 * double(x[j]));
+    spectrum[n / 2] = Cx(T(ny.real()), T(ny.imag()));
+  }
+
+  void reference(const Cx* g, Cx* spectrum) const {
+    for (index_t k = 0; k < n; ++k) {
+      const double kt = k < n / 2 ? double(k) : double(k) - double(n);
+      std::complex<double> acc = 0;
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        const std::complex<double> gj(g[j].real(), g[j].imag());
+        if (k == n / 2)
+          acc += gj * std::cos(double(n) / 2.0 * double(x[j]));
+        else
+          acc += gj * std::exp(std::complex<double>(0.0, -kt * double(x[j])));
+      }
+      spectrum[k] = Cx(T(acc.real()), T(acc.imag()));
+    }
+  }
+};
+
+template <typename T>
+NufftType1<T>::NufftType1(index_t n, std::vector<T> points, int q, index_t ml, int b)
+    : impl_(std::make_unique<Impl>(n, std::move(points), q, ml, b)) {}
+template <typename T>
+NufftType1<T>::~NufftType1() = default;
+template <typename T>
+NufftType1<T>::NufftType1(NufftType1&&) noexcept = default;
+template <typename T>
+NufftType1<T>& NufftType1<T>::operator=(NufftType1&&) noexcept = default;
+
+template <typename T>
+index_t NufftType1<T>::spectrum_size() const {
+  return impl_->n;
+}
+template <typename T>
+index_t NufftType1<T>::num_points() const {
+  return static_cast<index_t>(impl_->x.size());
+}
+template <typename T>
+void NufftType1<T>::execute(const std::complex<T>* samples, std::complex<T>* spectrum) const {
+  impl_->execute(samples, spectrum);
+}
+template <typename T>
+void NufftType1<T>::reference(const std::complex<T>* samples, std::complex<T>* spectrum) const {
+  impl_->reference(samples, spectrum);
+}
+
+template class NufftType1<float>;
+template class NufftType1<double>;
+
+template <typename T>
+NufftType2<T>::NufftType2(index_t n, std::vector<T> targets, int q, index_t ml, int b)
+    : impl_(std::make_unique<Impl>(n, std::move(targets), q, ml, b)) {}
+template <typename T>
+NufftType2<T>::~NufftType2() = default;
+template <typename T>
+NufftType2<T>::NufftType2(NufftType2&&) noexcept = default;
+template <typename T>
+NufftType2<T>& NufftType2<T>::operator=(NufftType2&&) noexcept = default;
+
+template <typename T>
+index_t NufftType2<T>::spectrum_size() const {
+  return impl_->n;
+}
+template <typename T>
+index_t NufftType2<T>::num_targets() const {
+  return static_cast<index_t>(impl_->x.size());
+}
+template <typename T>
+void NufftType2<T>::execute(const std::complex<T>* spectrum, std::complex<T>* out) const {
+  impl_->execute(spectrum, out);
+}
+template <typename T>
+void NufftType2<T>::reference(const std::complex<T>* spectrum, std::complex<T>* out) const {
+  impl_->reference(spectrum, out);
+}
+
+template class NufftType2<float>;
+template class NufftType2<double>;
+
+}  // namespace fmmfft::nufft

@@ -1,0 +1,78 @@
+// Nonequispaced FFT (type 2) via the FMM — the Dutt–Rokhlin algorithm the
+// FMM-FFT generalizes (§2, [7] in the paper).
+//
+// Evaluates a Fourier series with uniform spectrum at nonuniform points:
+//
+//     out[j] = sum_k  c_k · exp(i·k̃·x_j),   x_j in [0, 2π)
+//
+// where c is in standard FFT ordering (index k in [0, n) meaning signed
+// frequency k̃ = k for k < n/2, k̃ = k - n for k > n/2, and the Nyquist
+// coefficient c_{n/2} taken in the symmetric convention cos(n·x/2)).
+//
+// Algorithm: exact trigonometric interpolation from the n uniform samples,
+//     F(x) = sin(n·x/2)/n · sum_m (-1)^m f(t_m)·cot((x - t_m)/2) + Nyquist,
+// with the cotangent sum compressed by the nonuniform-target FMM:
+// one inverse FFT + one FMM apply per execute — O(n log n + m·Q).
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fmmfft::nufft {
+
+/// Type-1 (adjoint) transform: accumulate nonuniform samples into a
+/// uniform spectrum,
+///
+///     out[k] = sum_j g_j · exp(-i·k̃·x_j)
+///
+/// with the same frequency/Nyquist conventions as NufftType2 (out is the
+/// exact conjugate-transpose of the type-2 evaluation matrix). One FMM
+/// spreading pass plus one forward FFT per execute.
+template <typename T>
+class NufftType1 {
+ public:
+  NufftType1(index_t n, std::vector<T> points, int q = 18, index_t ml = 16, int b = 3);
+  ~NufftType1();
+  NufftType1(NufftType1&&) noexcept;
+  NufftType1& operator=(NufftType1&&) noexcept;
+
+  index_t spectrum_size() const;
+  index_t num_points() const;
+
+  void execute(const std::complex<T>* samples, std::complex<T>* spectrum) const;
+
+  /// Direct O(n·m) evaluation for validation.
+  void reference(const std::complex<T>* samples, std::complex<T>* spectrum) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+template <typename T>
+class NufftType2 {
+ public:
+  /// Plan for evaluating size-n spectra at the given targets in [0, 2π).
+  /// q controls accuracy exactly as in the FMM-FFT (18 ≈ double precision).
+  NufftType2(index_t n, std::vector<T> targets, int q = 18, index_t ml = 16, int b = 3);
+  ~NufftType2();
+  NufftType2(NufftType2&&) noexcept;
+  NufftType2& operator=(NufftType2&&) noexcept;
+
+  index_t spectrum_size() const;
+  index_t num_targets() const;
+
+  void execute(const std::complex<T>* spectrum, std::complex<T>* out) const;
+
+  /// Direct O(n·m) evaluation of the same sum (same Nyquist convention).
+  void reference(const std::complex<T>* spectrum, std::complex<T>* out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fmmfft::nufft

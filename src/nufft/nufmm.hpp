@@ -1,0 +1,61 @@
+// Periodic 1D interpolative FMM with uniform sources and *nonuniform*
+// targets — the Dutt–Rokhlin building block (§2: the FMM-FFT "appears to be
+// a generalization of a previous algorithm by Dutt et al. for nonequispaced
+// FFTs, which can be interpreted as Edelman's formulation with P = 1").
+//
+// Computes, for targets x_j in [0, 2π) and sources t_m = 2π·m/n,
+//
+//     out[j] = sum_m charge[m] · cot((x_j - t_m)/2)
+//
+// to a-priori accuracy controlled by the Chebyshev order Q. The kernel is
+// 2π-periodic, so no wrap handling is needed anywhere. Source-coincident
+// targets are detected at plan time; their singular self-terms are skipped
+// and reported so callers can apply the analytic limit (the NUFFT does).
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fmmfft::nufft {
+
+template <typename T>
+class NonuniformFmm {
+ public:
+  /// n uniform sources; targets in [0, 2π) (copied). M_L sources per leaf,
+  /// base level b, Chebyshev order q.
+  NonuniformFmm(index_t n, std::vector<T> targets, int q = 18, index_t ml = 16, int b = 3);
+  ~NonuniformFmm();
+  NonuniformFmm(NonuniformFmm&&) noexcept;
+  NonuniformFmm& operator=(NonuniformFmm&&) noexcept;
+
+  index_t num_sources() const;
+  index_t num_targets() const;
+
+  /// (target index, source index) pairs where x_j coincides with t_m;
+  /// their kernel terms are omitted from apply().
+  const std::vector<std::pair<index_t, index_t>>& exact_hits() const;
+
+  /// out[j] = sum_m charge[m]·cot((x_j - t_m)/2), omitting exact hits.
+  void apply(const std::complex<T>* charges, std::complex<T>* out) const;
+
+  /// Transpose operator (nonuniform *sources*, uniform targets):
+  /// out[m] = sum_j charge[j]·cot((x_j - t_m)/2), omitting exact hits.
+  /// This is the spreading step of the type-1 NUFFT.
+  void apply_transpose(const std::complex<T>* charges, std::complex<T>* out) const;
+
+  /// Direct O(n·m) evaluation for validation.
+  void apply_direct(const std::complex<T>* charges, std::complex<T>* out) const;
+
+  /// Direct transpose evaluation for validation.
+  void apply_transpose_direct(const std::complex<T>* charges, std::complex<T>* out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fmmfft::nufft

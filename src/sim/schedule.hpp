@@ -1,0 +1,94 @@
+// Event-driven timeline simulation of a multi-device execution.
+//
+// The distributed drivers emit one Op per kernel launch / P2P message with
+// its true operation counts and dependencies; `simulate` then assigns start
+// and end times under an architecture's roofline, launch-overhead and link
+// parameters. This is the substitution for measuring on real GPUs: compute
+// *results* are produced by real host execution, compute *times* come from
+// this simulator configured with the paper's architecture parameters.
+//
+// Execution resources ("lanes"):
+//  * each device has one compute lane per stream id — kernels on the same
+//    (device, stream) serialize, distinct streams overlap (CUDA streams);
+//  * each directed device pair has a copy lane (NVLink-style dedicated
+//    links); with ArchParams::links_shared all transfers share one bus lane
+//    (PCIe-style);
+//  * Meta ops are zero-cost joins (events/barriers).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fmm/engine.hpp"
+#include "model/arch.hpp"
+
+namespace fmmfft::sim {
+
+struct Op {
+  enum class Kind { Kernel, Comm, Meta };
+  int id = -1;
+  Kind kind = Kind::Meta;
+  std::string label;
+  int device = 0;   ///< executing device (kernel) or source (comm)
+  int peer = -1;    ///< destination device (comm only)
+  int stream = 0;   ///< compute lane within the device (kernel only)
+  fmm::KernelClass kclass = fmm::KernelClass::Custom;
+  double flops = 0;
+  double bytes = 0;  ///< memory traffic (kernel) or payload (comm)
+  double fixed_seconds = 0;  ///< if > 0, the op's duration is exactly this
+                             ///< (host synchronization, fixed stalls)
+  bool is_double = true;
+  std::vector<int> deps;
+};
+
+struct OpTiming {
+  double start = 0;
+  double end = 0;
+};
+
+struct SimResult {
+  double total_seconds = 0;
+  std::vector<OpTiming> timings;                ///< indexed by op id
+  std::map<std::string, double> label_seconds;  ///< busy time per label
+  double kernel_busy = 0;                       ///< summed kernel durations
+  double comm_busy = 0;                         ///< summed transfer durations
+};
+
+class Schedule {
+ public:
+  /// Add a compute kernel; returns its op id. All referenced deps must
+  /// already exist (ids are topologically ordered by construction).
+  int add_kernel(int device, std::string label, fmm::KernelClass kclass, double flops,
+                 double mem_bytes, bool is_double, std::vector<int> deps, int stream = 0);
+
+  /// Add a P2P transfer of `payload_bytes` from src to dst.
+  int add_comm(int src, int dst, std::string label, double payload_bytes,
+               std::vector<int> deps);
+
+  /// Zero-cost join of `deps` (event wait).
+  int add_meta(std::string label, std::vector<int> deps);
+
+  /// Fixed-duration stall on a device's compute lane (host-side
+  /// synchronization, plan switches). Stream 0. Pass seconds < 0 to resolve
+  /// to ArchParams::sync_overhead at simulation time.
+  int add_delay(int device, std::string label, double seconds, std::vector<int> deps);
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+  index_t kernel_launches() const;
+  double total_comm_bytes() const;
+
+  SimResult simulate(const model::ArchParams& arch) const;
+
+  /// chrome://tracing / Perfetto-compatible JSON of a simulated run.
+  void write_chrome_trace(const SimResult& res, std::ostream& os) const;
+
+ private:
+  int push(Op op);
+  std::vector<Op> ops_;
+};
+
+}  // namespace fmmfft::sim

@@ -1,0 +1,76 @@
+// Tests for a-priori error control (fmm/accuracy.hpp): the predicted
+// envelope must bound the measured FMM-FFT error across Q — the paper's
+// "specify the error a priori" property — and suggest_params must deliver
+// plans meeting requested accuracies.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/fmmfft.hpp"
+#include "core/reference.hpp"
+#include "fmm/accuracy.hpp"
+
+namespace fmmfft::fmm {
+namespace {
+
+using Cd = std::complex<double>;
+
+TEST(ErrorModel, PredictionsDecreaseGeometrically) {
+  for (int q = 2; q < 24; ++q)
+    EXPECT_GT(predict_rel_error(q), predict_rel_error(q + 1));
+  EXPECT_NEAR(predict_rel_error(8) / predict_rel_error(9), convergence_ratio(), 1e-9);
+}
+
+TEST(ErrorModel, MinQForTargets) {
+  EXPECT_LE(predict_rel_error(min_q_for(1e-6)), 1e-6);
+  EXPECT_LE(predict_rel_error(min_q_for(1e-12)), 1e-12);
+  EXPECT_GE(min_q_for(1e-12), min_q_for(1e-6));
+  EXPECT_EQ(min_q_for(1e-30), 24);  // clamped
+}
+
+TEST(ErrorModel, FloorByPrecision) {
+  EXPECT_LT(error_floor(true), error_floor(false));
+  EXPECT_EQ(predict_rel_error(24, true), std::max(predict_rel_error(24), 2e-14));
+}
+
+TEST(ErrorModel, EnvelopeBoundsMeasuredError) {
+  // Measured FMM-FFT error must sit below the predicted envelope for all Q.
+  const index_t n = 1 << 14;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), ref(x.size());
+  fill_uniform(x.data(), n, 99);
+  core::exact_fft(n, x.data(), ref.data());
+  for (int qq = 3; qq <= 20; ++qq) {
+    Params prm{n, 64, 8, 3, qq};
+    core::FmmFft<Cd> plan(prm);
+    std::vector<Cd> got(x.size());
+    plan.execute(x.data(), got.data());
+    const double err = rel_l2_error(got.data(), ref.data(), n);
+    EXPECT_LT(err, predict_rel_error(qq, true)) << "Q=" << qq;
+  }
+}
+
+TEST(ErrorModel, SuggestParamsMeetsTarget) {
+  for (double eps : {1e-4, 1e-8, 1e-13}) {
+    const index_t n = 1 << 14;
+    Params prm = suggest_params(n, eps);
+    EXPECT_TRUE(prm.is_admissible(1));
+    std::vector<Cd> x(static_cast<std::size_t>(n)), got(x.size()), ref(x.size());
+    fill_uniform(x.data(), n, 7);
+    core::exact_fft(n, x.data(), ref.data());
+    core::FmmFft<Cd> plan(prm);
+    plan.execute(x.data(), got.data());
+    EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), eps) << "eps=" << eps;
+  }
+}
+
+TEST(ErrorModel, SuggestParamsRespectsDeviceCount) {
+  Params prm = suggest_params(1 << 16, 1e-10, 8);
+  EXPECT_TRUE(prm.is_admissible(8));
+  EXPECT_THROW(suggest_params(64, 1e-10, 8), Error);  // too small to split
+}
+
+}  // namespace
+}  // namespace fmmfft::fmm

@@ -1,0 +1,191 @@
+// Unit and property tests for the BLAS substrate: blocked GEMM vs the naive
+// reference across shapes/transposes/alpha-beta, strided batched GEMM, GEMV.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace fmmfft::blas {
+namespace {
+
+template <typename T>
+std::vector<T> random_vec(index_t n, std::uint64_t seed) {
+  std::vector<T> v(static_cast<std::size_t>(n));
+  fill_uniform(v.data(), n, seed);
+  return v;
+}
+
+using Shape = std::tuple<int, int, int, Op, Op>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, MatchesReferenceDouble) {
+  auto [m, n, k, ta, tb] = GetParam();
+  index_t lda = ta == Op::N ? m + 2 : k + 1;
+  index_t ldb = tb == Op::N ? k + 3 : n + 2;
+  index_t ldc = m + 1;
+  auto a = random_vec<double>(lda * (ta == Op::N ? k : m), 1);
+  auto b = random_vec<double>(ldb * (tb == Op::N ? n : k), 2);
+  auto c0 = random_vec<double>(ldc * n, 3);
+  auto c1 = c0;
+  const double alpha = 1.25, beta = -0.5;
+  gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c0.data(), ldc);
+  gemm_reference(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c1.data(), ldc);
+  EXPECT_LT(rel_l2_error(c0.data(), c1.data(), (index_t)c0.size()), 1e-13);
+}
+
+TEST_P(GemmShapes, MatchesReferenceFloat) {
+  auto [m, n, k, ta, tb] = GetParam();
+  index_t lda = ta == Op::N ? m : k;
+  index_t ldb = tb == Op::N ? k : n;
+  index_t ldc = m;
+  auto a = random_vec<float>(lda * (ta == Op::N ? k : m), 4);
+  auto b = random_vec<float>(ldb * (tb == Op::N ? n : k), 5);
+  auto c0 = random_vec<float>(ldc * n, 6);
+  auto c1 = c0;
+  gemm<float>(ta, tb, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f, c0.data(), ldc);
+  gemm_reference<float>(ta, tb, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f, c1.data(),
+                        ldc);
+  EXPECT_LT(rel_l2_error(c0.data(), c1.data(), (index_t)c0.size()), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, GemmShapes,
+    ::testing::Values(
+        Shape{1, 1, 1, Op::N, Op::N}, Shape{8, 4, 16, Op::N, Op::N},
+        Shape{7, 5, 3, Op::N, Op::N}, Shape{65, 67, 129, Op::N, Op::N},
+        Shape{16, 16, 300, Op::N, Op::N}, Shape{130, 40, 70, Op::N, Op::N},
+        Shape{33, 17, 9, Op::T, Op::N}, Shape{12, 40, 25, Op::N, Op::T},
+        Shape{50, 50, 50, Op::T, Op::T}, Shape{100, 1, 64, Op::N, Op::N},
+        Shape{1, 100, 64, Op::N, Op::N}, Shape{9, 9, 1, Op::N, Op::N},
+        Shape{256, 8, 16, Op::N, Op::N}, Shape{8, 256, 16, Op::T, Op::N}));
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  const index_t m = 6, n = 5, k = 4;
+  auto a = random_vec<double>(m * k, 10);
+  auto b = random_vec<double>(k * n, 11);
+  std::vector<double> c(m * n, std::numeric_limits<double>::quiet_NaN());
+  gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, b.data(), k, 0.0, c.data(), m);
+  for (double v : c) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  const index_t m = 5, n = 5, k = 5;
+  auto a = random_vec<double>(m * k, 12);
+  auto b = random_vec<double>(k * n, 13);
+  auto c = random_vec<double>(m * n, 14);
+  auto expect = c;
+  for (auto& v : expect) v *= 2.0;
+  gemm(Op::N, Op::N, m, n, k, 0.0, a.data(), m, b.data(), k, 2.0, c.data(), m);
+  EXPECT_EQ(c, expect);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoOps) {
+  std::vector<double> c(4, 1.0);
+  gemm<double>(Op::N, Op::N, 0, 2, 3, 1.0, nullptr, 1, nullptr, 3, 0.0, c.data(), 1);
+  gemm<double>(Op::N, Op::N, 2, 0, 3, 1.0, nullptr, 2, nullptr, 3, 0.0, c.data(), 2);
+  // k == 0 with beta: C := beta*C
+  std::vector<double> c2(4, 3.0);
+  gemm<double>(Op::N, Op::N, 2, 2, 0, 1.0, nullptr, 2, nullptr, 1, 0.5, c2.data(), 2);
+  for (double v : c2) EXPECT_EQ(v, 1.5);
+}
+
+TEST(Gemm, LinearityProperty) {
+  // gemm(A, x+y) == gemm(A, x) + gemm(A, y)
+  const index_t m = 31, n = 9, k = 17;
+  auto a = random_vec<double>(m * k, 20);
+  auto b1 = random_vec<double>(k * n, 21);
+  auto b2 = random_vec<double>(k * n, 22);
+  std::vector<double> bsum(k * n);
+  for (index_t i = 0; i < k * n; ++i) bsum[i] = b1[i] + b2[i];
+  std::vector<double> c1(m * n, 0), c2(m * n, 0), cs(m * n, 0);
+  gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, b1.data(), k, 0.0, c1.data(), m);
+  gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, b2.data(), k, 1.0, c1.data(), m);
+  gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, bsum.data(), k, 0.0, cs.data(), m);
+  EXPECT_LT(rel_l2_error(c1.data(), cs.data(), m * n), 1e-13);
+  (void)c2;
+}
+
+TEST(BatchedGemm, MatchesLoopOfGemms) {
+  const index_t m = 12, n = 7, k = 9, batch = 5;
+  auto a = random_vec<double>(m * k * batch, 30);
+  auto b = random_vec<double>(k * n * batch, 31);
+  auto c0 = random_vec<double>(m * n * batch, 32);
+  auto c1 = c0;
+  gemm_strided_batched(Op::N, Op::N, m, n, k, 2.0, a.data(), m, m * k, b.data(), k, k * n, 0.5,
+                       c0.data(), m, m * n, batch);
+  for (index_t g = 0; g < batch; ++g)
+    gemm(Op::N, Op::N, m, n, k, 2.0, a.data() + g * m * k, m, b.data() + g * k * n, k, 0.5,
+         c1.data() + g * m * n, m);
+  EXPECT_EQ(c0, c1);
+}
+
+TEST(BatchedGemm, SharedOperandViaZeroStride) {
+  // stride_a = 0 broadcasts one operator across the batch — exactly how the
+  // S2M/M2M stages apply one small operator to every box.
+  const index_t q = 4, ml = 6, batch = 8;
+  auto op = random_vec<double>(q * ml, 40);
+  auto s = random_vec<double>(ml * batch, 41);
+  std::vector<double> out(q * batch, 0);
+  gemm_strided_batched(Op::N, Op::N, q, 1, ml, 1.0, op.data(), q, 0, s.data(), ml, ml, 0.0,
+                       out.data(), q, q, batch);
+  for (index_t g = 0; g < batch; ++g) {
+    for (index_t i = 0; i < q; ++i) {
+      double expect = 0;
+      for (index_t j = 0; j < ml; ++j) expect += op[i + j * q] * s[j + g * ml];
+      EXPECT_NEAR(out[i + g * q], expect, 1e-12);
+    }
+  }
+}
+
+TEST(Gemv, NoTransMatchesGemm) {
+  const index_t m = 23, n = 11;
+  auto a = random_vec<double>(m * n, 50);
+  auto x = random_vec<double>(n, 51);
+  std::vector<double> y0(m, 0), y1(m, 0);
+  gemv(Op::N, m, n, 1.0, a.data(), m, x.data(), 1, 0.0, y0.data(), 1);
+  gemm(Op::N, Op::N, m, 1, n, 1.0, a.data(), m, x.data(), n, 0.0, y1.data(), m);
+  EXPECT_LT(rel_l2_error(y0.data(), y1.data(), m), 1e-14);
+}
+
+TEST(Gemv, TransposeAndStrides) {
+  const index_t m = 9, n = 14;
+  auto a = random_vec<double>(m * n, 52);
+  auto x = random_vec<double>(2 * m, 53);
+  std::vector<double> y(3 * n, 7.0);
+  // y[j*3] = sum_i A[i,j] * x[i*2], beta = 0
+  gemv(Op::T, n, m, 1.0, a.data(), m, x.data(), 2, 0.0, y.data(), 3);
+  for (index_t j = 0; j < n; ++j) {
+    double expect = 0;
+    for (index_t i = 0; i < m; ++i) expect += a[i + j * m] * x[2 * i];
+    EXPECT_NEAR(y[3 * j], expect, 1e-12);
+    if (j < n - 1) {
+      EXPECT_EQ(y[3 * j + 1], 7.0);  // strided gaps untouched
+      EXPECT_EQ(y[3 * j + 2], 7.0);
+    }
+  }
+}
+
+TEST(Gemv, OnesVectorComputesColumnSums) {
+  // The §4.8 reduction computes r_p with a GEMV against a ones vector.
+  const index_t m = 6, n = 8;
+  auto a = random_vec<double>(m * n, 54);
+  std::vector<double> ones(m, 1.0), r(n, 0.0);
+  gemv(Op::T, n, m, 1.0, a.data(), m, ones.data(), 1, 0.0, r.data(), 1);
+  for (index_t j = 0; j < n; ++j) {
+    double expect = 0;
+    for (index_t i = 0; i < m; ++i) expect += a[i + j * m];
+    EXPECT_NEAR(r[j], expect, 1e-12);
+  }
+}
+
+TEST(GemmFlops, CountFormula) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48.0);
+}
+
+}  // namespace
+}  // namespace fmmfft::blas

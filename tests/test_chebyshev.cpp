@@ -1,0 +1,120 @@
+// Tests for the Chebyshev interpolation machinery: node/weight identities,
+// Lagrange cardinality, partition of unity, and interpolation exactness on
+// low-degree polynomials (the property that drives FMM accuracy).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "fmm/chebyshev.hpp"
+
+namespace fmmfft::fmm {
+namespace {
+
+class ChebOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChebOrders, PointsAreChebyshevRootsDescending) {
+  const int q = GetParam();
+  auto z = chebyshev_points(q);
+  ASSERT_EQ((int)z.size(), q);
+  for (int j = 0; j < q; ++j) {
+    // T_q(z_j) = cos(q * arccos(z_j)) = 0
+    EXPECT_NEAR(std::cos(q * std::acos(z[j])), 0.0, 1e-12);
+    if (j > 0) {
+      EXPECT_LT(z[j], z[j - 1]);
+    }
+    EXPECT_LT(std::abs(z[j]), 1.0);
+  }
+}
+
+TEST_P(ChebOrders, LagrangeCardinality) {
+  const int q = GetParam();
+  auto z = chebyshev_points(q);
+  std::vector<double> l(q);
+  for (int j = 0; j < q; ++j) {
+    lagrange_eval(q, z[j], l.data());
+    for (int i = 0; i < q; ++i) EXPECT_NEAR(l[i], i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST_P(ChebOrders, PartitionOfUnity) {
+  // sum_i l_i(x) = 1 for any x — the invariant behind the §4.8 reduction.
+  const int q = GetParam();
+  std::vector<double> l(q);
+  for (double x : {-1.0, -0.73, -0.2, 0.0, 0.31, 0.9, 1.0}) {
+    lagrange_eval(q, x, l.data());
+    double s = 0;
+    for (double v : l) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-12) << "x=" << x << " q=" << q;
+  }
+}
+
+TEST_P(ChebOrders, ReproducesPolynomialsUpToDegree) {
+  // Interpolation through Q points is exact for degree <= Q-1.
+  const int q = GetParam();
+  auto z = chebyshev_points(q);
+  for (int deg = 0; deg < q; ++deg) {
+    std::vector<double> coeff(q);
+    for (int j = 0; j < q; ++j) coeff[j] = std::pow(z[j], deg);
+    for (double x : {-0.95, -0.4, 0.15, 0.77}) {
+      EXPECT_NEAR(lagrange_interpolate(q, coeff.data(), x), std::pow(x, deg), 1e-10)
+          << "q=" << q << " deg=" << deg;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ChebOrders, ::testing::Values(1, 2, 3, 4, 8, 12, 16, 20, 24));
+
+TEST(Chebyshev, WeightsAlternateInSign) {
+  auto w = chebyshev_weights(8);
+  for (int i = 0; i + 1 < 8; ++i) EXPECT_LT(w[i] * w[i + 1], 0.0);
+}
+
+TEST(Chebyshev, InterpolationConvergesForSmoothFunction) {
+  // Geometric error decay in Q for an analytic function on [-1,1]: the
+  // mechanism behind the FMM's a-priori error control.
+  auto f = [](double x) { return 1.0 / (x + 3.0); };  // poles away from [-1,1]
+  double prev_err = 1e300;
+  for (int q : {2, 4, 8, 16}) {
+    auto z = chebyshev_points(q);
+    std::vector<double> coeff(q);
+    for (int j = 0; j < q; ++j) coeff[j] = f(z[j]);
+    double err = 0;
+    for (int k = 0; k <= 100; ++k) {
+      double x = -1.0 + 2.0 * k / 100.0;
+      err = std::max(err, std::abs(lagrange_interpolate(q, coeff.data(), x) - f(x)));
+    }
+    EXPECT_LT(err, prev_err * 0.5) << "q=" << q;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-10);
+}
+
+TEST(Chebyshev, LagrangeMatrixColumnsMatchPointEvaluations) {
+  const int q = 5;
+  const double xs[] = {-0.8, 0.1, 0.9};
+  auto e = lagrange_matrix(q, xs, 3);
+  std::vector<double> l(q);
+  for (int j = 0; j < 3; ++j) {
+    lagrange_eval(q, xs[j], l.data());
+    for (int i = 0; i < q; ++i) EXPECT_EQ(e[(std::size_t)(i + j * q)], l[i]);
+  }
+}
+
+TEST(Chebyshev, EvalNearNodeIsStable) {
+  // Barycentric form must not blow up immediately next to a node.
+  const int q = 12;
+  auto z = chebyshev_points(q);
+  std::vector<double> l(q);
+  lagrange_eval(q, z[5] + 1e-15, l.data());
+  double s = 0;
+  for (double v : l) {
+    EXPECT_TRUE(std::isfinite(v));
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fmmfft::fmm

@@ -1,0 +1,193 @@
+// Unit tests for the common substrate: tensors, permutations, buffers,
+// math helpers, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/permute.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/tensor.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+namespace {
+
+TEST(Types, ComponentsAndTraits) {
+  EXPECT_EQ(components_v<float>, 1);
+  EXPECT_EQ(components_v<double>, 1);
+  EXPECT_EQ(components_v<std::complex<float>>, 2);
+  EXPECT_EQ(components_v<std::complex<double>>, 2);
+  EXPECT_TRUE((std::is_same_v<real_of_t<std::complex<double>>, double>));
+  EXPECT_TRUE((std::is_same_v<real_of_t<float>, float>));
+}
+
+TEST(Types, ScalarTags) {
+  EXPECT_EQ(scalar_of<float>(), Scalar::F32);
+  EXPECT_EQ(scalar_of<std::complex<double>>(), Scalar::C64);
+  EXPECT_EQ(bytes_of(Scalar::C32), 8u);
+  EXPECT_EQ(bytes_of(Scalar::F64), 8u);
+  EXPECT_TRUE(is_complex_scalar(Scalar::C64));
+  EXPECT_FALSE(is_complex_scalar(Scalar::F32));
+  EXPECT_TRUE(is_double_scalar(Scalar::F64));
+  EXPECT_STREQ(to_string(Scalar::C64), "complex<double>");
+}
+
+TEST(Math, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2_exact(1 << 20), 20);
+}
+
+TEST(Math, CeilDivAndMod) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(mod(-1, 8), 7);
+  EXPECT_EQ(mod(-9, 8), 7);
+  EXPECT_EQ(mod(9, 8), 1);
+}
+
+TEST(Math, RelL2Error) {
+  std::vector<double> a{1, 2, 3}, b{1, 2, 3};
+  EXPECT_EQ(rel_l2_error(a.data(), b.data(), 3), 0.0);
+  a[0] = 1.1;
+  EXPECT_NEAR(rel_l2_error(a.data(), b.data(), 3), 0.1 / std::sqrt(14.0), 1e-12);
+  std::vector<std::complex<double>> ca{{1, 1}}, cb{{1, 1}};
+  EXPECT_EQ(rel_l2_error(ca.data(), cb.data(), 1), 0.0);
+}
+
+TEST(Error, ChecksThrow) {
+  EXPECT_THROW(FMMFFT_CHECK(false), Error);
+  EXPECT_NO_THROW(FMMFFT_CHECK(true));
+  try {
+    FMMFFT_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Buffer, ZeroInitAndMove) {
+  Buffer<double> b(17);
+  for (index_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0.0);
+  b[3] = 5;
+  Buffer<double> c = std::move(b);
+  EXPECT_EQ(c.size(), 17);
+  EXPECT_EQ(c[3], 5.0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.data()) % kAlignment, 0u);
+}
+
+TEST(Buffer, FillAndIterate) {
+  Buffer<float> b(8);
+  b.fill(2.5f);
+  float s = std::accumulate(b.begin(), b.end(), 0.0f);
+  EXPECT_EQ(s, 20.0f);
+  EXPECT_TRUE(Buffer<float>().empty());
+}
+
+TEST(Tensor, CompactStrides) {
+  Buffer<double> storage(2 * 3 * 4);
+  Tensor3<double> t(storage.data(), {2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.ld(0), 1);
+  EXPECT_EQ(t.ld(1), 2);
+  EXPECT_EQ(t.ld(2), 6);
+  t(1, 2, 3) = 7.0;
+  EXPECT_EQ(storage[1 + 2 * 2 + 3 * 6], 7.0);
+}
+
+TEST(Tensor, SliceSlowestMode) {
+  Buffer<int> storage(6 * 5);
+  Tensor2<int> t(storage.data(), {6, 5});
+  t(2, 3) = 11;
+  auto s = t.slice(3);
+  EXPECT_EQ(s.dim(0), 6);
+  EXPECT_EQ(s(2), 11);
+}
+
+TEST(Tensor, NegativeHaloOffset) {
+  // Halo regions index one box before the start on the slowest mode.
+  Buffer<double> storage(4 * 6);
+  Tensor2<double> t(storage.data() + 4, {4, 4});  // one halo box each side
+  t(0, -1) = 1.5;                                  // legal: lands in storage[0]
+  EXPECT_EQ(storage[0], 1.5);
+  t(3, 4) = 2.5;
+  EXPECT_EQ(storage[4 * 5 + 3], 2.5);
+}
+
+TEST(Permute, MPDefinition) {
+  // (Pi_{M,P} x)[m + p*M] = x[p + m*P]
+  const index_t M = 4, P = 3;
+  std::vector<int> x(M * P), y(M * P);
+  std::iota(x.begin(), x.end(), 0);
+  permute_mp(x.data(), y.data(), M, P);
+  for (index_t p = 0; p < P; ++p)
+    for (index_t m = 0; m < M; ++m) EXPECT_EQ(y[m + p * M], x[p + m * P]);
+}
+
+TEST(Permute, PMIsInverse) {
+  const index_t M = 8, P = 5;
+  std::vector<double> x(M * P), y(M * P), z(M * P);
+  fill_uniform(x.data(), M * P, 42);
+  permute_mp(x.data(), y.data(), M, P);
+  permute_pm(y.data(), z.data(), M, P);
+  EXPECT_EQ(x, z);
+}
+
+TEST(Permute, TransposeMatchesPermute) {
+  const index_t M = 13, P = 7;
+  std::vector<double> x(M * P), y(M * P), z(M * P);
+  fill_uniform(x.data(), M * P, 7);
+  permute_mp(x.data(), y.data(), M, P);
+  // x viewed as P×M column-major; its transpose is the M-major layout.
+  transpose_blocked(x.data(), z.data(), P, M);
+  EXPECT_EQ(y, z);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = c.uniform_sym();
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FillUniformComplex) {
+  std::vector<std::complex<float>> v(64);
+  fill_uniform(v.data(), 64, 9);
+  bool nonzero = false;
+  for (auto& z : v) {
+    EXPECT_LE(std::abs(z.real()), 1.0f);
+    EXPECT_LE(std::abs(z.imag()), 1.0f);
+    if (z != std::complex<float>(0)) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Table, PrintsAllCells) {
+  Table t({"a", "bb"});
+  t.row().col(1).col(2.5, 1);
+  t.row().col("x").col_sci(1234.5);
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("1.23e+03"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmmfft

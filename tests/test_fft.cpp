@@ -1,0 +1,235 @@
+// Unit and property tests for the FFT substrate: Stockham vs direct DFT,
+// Bluestein sizes, round trips, batched/strided layouts, 2D transforms,
+// and classic FFT identities (linearity, Parseval, shift, impulse).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+namespace fmmfft::fft {
+namespace {
+
+template <typename T>
+using Cx = std::complex<T>;
+
+template <typename T>
+std::vector<Cx<T>> random_signal(index_t n, std::uint64_t seed) {
+  std::vector<Cx<T>> v(static_cast<std::size_t>(n));
+  fill_uniform(v.data(), n, seed);
+  return v;
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, ForwardMatchesReferenceDouble) {
+  const index_t n = GetParam();
+  auto x = random_signal<double>(n, n);
+  std::vector<Cx<double>> ref(n);
+  dft_reference(x.data(), ref.data(), n);
+  fft(x.data(), n, Direction::Forward);
+  EXPECT_LT(rel_l2_error(x.data(), ref.data(), n), 1e-12) << "n=" << n;
+}
+
+TEST_P(FftSizes, ForwardMatchesReferenceFloat) {
+  const index_t n = GetParam();
+  auto x = random_signal<float>(n, n + 1);
+  std::vector<Cx<float>> ref(n);
+  dft_reference(x.data(), ref.data(), n);
+  fft(x.data(), n, Direction::Forward);
+  EXPECT_LT(rel_l2_error(x.data(), ref.data(), n), 2e-5) << "n=" << n;
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const index_t n = GetParam();
+  auto x = random_signal<double>(n, 2 * n);
+  auto orig = x;
+  Plan1D<double> plan(n);
+  plan.execute(x.data(), Direction::Forward);
+  plan.execute(x.data(), Direction::Inverse);
+  normalize(x.data(), n, n);
+  EXPECT_LT(rel_l2_error(x.data(), orig.data(), n), 1e-13) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024, 4096));
+INSTANTIATE_TEST_SUITE_P(Bluestein, FftSizes,
+                         ::testing::Values(3, 5, 6, 7, 12, 15, 17, 100, 243, 1000));
+
+TEST(Fft, ImpulseGivesAllOnes) {
+  const index_t n = 64;
+  std::vector<Cx<double>> x(n, Cx<double>(0));
+  x[0] = Cx<double>(1, 0);
+  fft(x.data(), n);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), 1.0, 1e-14);
+    EXPECT_NEAR(x[i].imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, ShiftedImpulseGivesTwiddleRamp) {
+  const index_t n = 32, shift = 5;
+  std::vector<Cx<double>> x(n, Cx<double>(0));
+  x[shift] = Cx<double>(1, 0);
+  fft(x.data(), n);
+  for (index_t i = 0; i < n; ++i) {
+    double ang = -2.0 * pi_v<double> * double(i * shift) / double(n);
+    EXPECT_NEAR(x[i].real(), std::cos(ang), 1e-13);
+    EXPECT_NEAR(x[i].imag(), std::sin(ang), 1e-13);
+  }
+}
+
+TEST(Fft, Linearity) {
+  const index_t n = 128;
+  auto a = random_signal<double>(n, 1);
+  auto b = random_signal<double>(n, 2);
+  std::vector<Cx<double>> sum(n);
+  for (index_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  Plan1D<double> plan(n);
+  plan.execute(a.data(), Direction::Forward);
+  plan.execute(b.data(), Direction::Forward);
+  plan.execute(sum.data(), Direction::Forward);
+  std::vector<Cx<double>> combo(n);
+  for (index_t i = 0; i < n; ++i) combo[i] = 2.0 * a[i] + 3.0 * b[i];
+  EXPECT_LT(rel_l2_error(sum.data(), combo.data(), n), 1e-13);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const index_t n = 512;
+  auto x = random_signal<double>(n, 3);
+  double et = 0;
+  for (auto& z : x) et += std::norm(z);
+  fft(x.data(), n);
+  double ef = 0;
+  for (auto& z : x) ef += std::norm(z);
+  EXPECT_NEAR(ef, et * n, et * n * 1e-12);
+}
+
+TEST(Fft, RealInputConjugateSymmetry) {
+  const index_t n = 256;
+  std::vector<Cx<double>> x(n);
+  Rng rng(7);
+  for (auto& z : x) z = Cx<double>(rng.uniform_sym(), 0.0);
+  fft(x.data(), n);
+  for (index_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), x[n - k].real(), 1e-11);
+    EXPECT_NEAR(x[k].imag(), -x[n - k].imag(), 1e-11);
+  }
+}
+
+TEST(Fft, BatchedMatchesIndividual) {
+  const index_t n = 64, count = 9;
+  auto data = random_signal<double>(n * count, 4);
+  auto expect = data;
+  Plan1D<double> plan(n);
+  plan.execute_batched(data.data(), count, Direction::Forward);
+  for (index_t g = 0; g < count; ++g) plan.execute(expect.data() + g * n, Direction::Forward);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Fft, StridedAdvancedLayout) {
+  // Transform along the slow dimension of an 8×16 column-major array:
+  // 8 batches, stride 8, dist 1 — equivalent to transpose+batched+transpose.
+  const index_t n0 = 8, n1 = 16;
+  auto data = random_signal<double>(n0 * n1, 5);
+  auto expect = data;
+  Plan1D<double> plan(n1);
+  plan.execute_strided(data.data(), n0, /*stride=*/n0, /*dist=*/1, Direction::Forward);
+  for (index_t i = 0; i < n0; ++i) {
+    std::vector<Cx<double>> line(n1);
+    for (index_t j = 0; j < n1; ++j) line[j] = expect[i + j * n0];
+    plan.execute(line.data(), Direction::Forward);
+    for (index_t j = 0; j < n1; ++j)
+      EXPECT_EQ(data[i + j * n0], line[j]) << "i=" << i << " j=" << j;
+  }
+}
+
+TEST(Fft, StridedWithUnitStrideUsesDist) {
+  const index_t n = 32, count = 4;
+  auto data = random_signal<double>(n * count, 6);
+  auto expect = data;
+  Plan1D<double> plan(n);
+  plan.execute_strided(data.data(), count, 1, n, Direction::Forward);
+  plan.execute_batched(expect.data(), count, Direction::Forward);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(Fft2D, MatchesRowColumnReference) {
+  const index_t n0 = 16, n1 = 8;
+  auto x = random_signal<double>(n0 * n1, 8);
+  auto ref = x;
+  // Reference: DFT along dim0 then dim1 by explicit loops.
+  {
+    std::vector<Cx<double>> tmp(std::max(n0, n1));
+    for (index_t j = 0; j < n1; ++j) {
+      dft_reference(ref.data() + j * n0, tmp.data(), n0);
+      std::copy_n(tmp.data(), n0, ref.data() + j * n0);
+    }
+    for (index_t i = 0; i < n0; ++i) {
+      std::vector<Cx<double>> line(n1), out(n1);
+      for (index_t j = 0; j < n1; ++j) line[j] = ref[i + j * n0];
+      dft_reference(line.data(), out.data(), n1);
+      for (index_t j = 0; j < n1; ++j) ref[i + j * n0] = out[j];
+    }
+  }
+  fft2d(x.data(), n0, n1, Direction::Forward);
+  EXPECT_LT(rel_l2_error(x.data(), ref.data(), n0 * n1), 1e-12);
+}
+
+TEST(Fft2D, RoundTrip) {
+  const index_t n0 = 32, n1 = 64;
+  auto x = random_signal<double>(n0 * n1, 9);
+  auto orig = x;
+  Plan2D<double> plan(n0, n1);
+  plan.execute(x.data(), Direction::Forward);
+  plan.execute(x.data(), Direction::Inverse);
+  normalize(x.data(), n0 * n1, n0 * n1);
+  EXPECT_LT(rel_l2_error(x.data(), orig.data(), n0 * n1), 1e-13);
+  EXPECT_EQ(plan.size0(), n0);
+  EXPECT_EQ(plan.size1(), n1);
+}
+
+TEST(Fft2D, SeparabilityProperty) {
+  // 2D FFT of an outer product is the outer product of 1D FFTs.
+  const index_t n0 = 16, n1 = 32;
+  auto u = random_signal<double>(n0, 10);
+  auto v = random_signal<double>(n1, 11);
+  std::vector<Cx<double>> x(n0 * n1);
+  for (index_t j = 0; j < n1; ++j)
+    for (index_t i = 0; i < n0; ++i) x[i + j * n0] = u[i] * v[j];
+  fft2d(x.data(), n0, n1);
+  auto fu = u, fv = v;
+  fft(fu.data(), n0);
+  fft(fv.data(), n1);
+  std::vector<Cx<double>> expect(n0 * n1);
+  for (index_t j = 0; j < n1; ++j)
+    for (index_t i = 0; i < n0; ++i) expect[i + j * n0] = fu[i] * fv[j];
+  EXPECT_LT(rel_l2_error(x.data(), expect.data(), n0 * n1), 1e-12);
+}
+
+TEST(Fft, PlanReuseIsConsistent) {
+  const index_t n = 128;
+  Plan1D<double> plan(n);
+  auto x = random_signal<double>(n, 12);
+  auto y = x;
+  plan.execute(x.data(), Direction::Forward);
+  plan.execute(y.data(), Direction::Forward);
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(plan.size(), n);
+}
+
+TEST(Fft, FlopModel) {
+  EXPECT_EQ(fft_flops(1), 0.0);
+  EXPECT_NEAR(fft_flops(1024), 5.0 * 1024 * 10, 1e-9);
+}
+
+TEST(Fft, ThrowsOnInvalidSize) {
+  EXPECT_THROW(Plan1D<double>(0), Error);
+  EXPECT_THROW(Plan1D<double>(-4), Error);
+}
+
+}  // namespace
+}  // namespace fmmfft::fft

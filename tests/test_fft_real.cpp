@@ -1,0 +1,102 @@
+// Tests for the real-to-complex / complex-to-real transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/real.hpp"
+
+namespace fmmfft::fft {
+namespace {
+
+using Cd = std::complex<double>;
+
+class RealSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RealSizes, R2CMatchesComplexReference) {
+  const index_t n = GetParam();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  fill_uniform(x.data(), n, n);
+  std::vector<Cd> xc(x.size()), full(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = Cd(x[i], 0);
+  dft_reference(xc.data(), full.data(), n);
+
+  RealPlan1D<double> plan(n);
+  std::vector<Cd> half(static_cast<std::size_t>(n / 2 + 1));
+  plan.r2c(x.data(), half.data());
+  for (index_t k = 0; k <= n / 2; ++k)
+    EXPECT_NEAR(std::abs(half[(std::size_t)k] - full[(std::size_t)k]), 0.0, 1e-10)
+        << "n=" << n << " k=" << k;
+}
+
+TEST_P(RealSizes, RoundTripIsScaledIdentity) {
+  const index_t n = GetParam();
+  std::vector<double> x(static_cast<std::size_t>(n)), back(x.size());
+  fill_uniform(x.data(), n, 3 * n);
+  RealPlan1D<double> plan(n);
+  std::vector<Cd> half(static_cast<std::size_t>(n / 2 + 1));
+  plan.r2c(x.data(), half.data());
+  plan.c2r(half.data(), back.data());
+  for (auto& v : back) v /= double(n);
+  EXPECT_LT(rel_l2_error(back.data(), x.data(), n), 1e-13) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealSizes, ::testing::Values(2, 4, 8, 16, 64, 256, 1024, 4096));
+INSTANTIATE_TEST_SUITE_P(NonPow2Even, RealSizes, ::testing::Values(6, 10, 12, 18, 30, 100, 486));
+
+TEST(RealFft, FloatPrecision) {
+  const index_t n = 512;
+  std::vector<float> x(static_cast<std::size_t>(n));
+  fill_uniform(x.data(), n, 5);
+  RealPlan1D<float> plan(n);
+  std::vector<std::complex<float>> half(static_cast<std::size_t>(n / 2 + 1));
+  plan.r2c(x.data(), half.data());
+  std::vector<Cd> xc(x.size()), full(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = Cd(x[i], 0);
+  dft_reference(xc.data(), full.data(), n);
+  for (index_t k = 0; k <= n / 2; ++k)
+    EXPECT_NEAR(std::abs(Cd(half[(std::size_t)k].real(), half[(std::size_t)k].imag()) -
+                         full[(std::size_t)k]),
+                0.0, 2e-3);
+  EXPECT_EQ(plan.size(), n);
+}
+
+TEST(RealFft, DcAndNyquistAreReal) {
+  const index_t n = 128;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  fill_uniform(x.data(), n, 6);
+  RealPlan1D<double> plan(n);
+  std::vector<Cd> half(static_cast<std::size_t>(n / 2 + 1));
+  plan.r2c(x.data(), half.data());
+  EXPECT_NEAR(half[0].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(half[(std::size_t)(n / 2)].imag(), 0.0, 1e-12);
+  double sum = 0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(half[0].real(), sum, 1e-10);
+}
+
+TEST(RealFft, PureToneLandsInOneBin) {
+  const index_t n = 256, bin = 17;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) x[(std::size_t)t] = std::cos(2.0 * pi_v<double> * bin * t / n);
+  RealPlan1D<double> plan(n);
+  std::vector<Cd> half(static_cast<std::size_t>(n / 2 + 1));
+  plan.r2c(x.data(), half.data());
+  for (index_t k = 0; k <= n / 2; ++k) {
+    const double expect = k == bin ? n / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(half[(std::size_t)k]), expect, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(RealFft, RejectsOddSizes) {
+  EXPECT_THROW(RealPlan1D<double>(7), Error);
+  EXPECT_THROW(RealPlan1D<double>(1), Error);
+  EXPECT_THROW(RealPlan1D<double>(0), Error);
+}
+
+}  // namespace
+}  // namespace fmmfft::fft

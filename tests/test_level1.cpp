@@ -1,0 +1,76 @@
+// Tests for the level-1 BLAS operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "common/rng.hpp"
+
+namespace fmmfft::blas {
+namespace {
+
+TEST(Axpy, BasicAndStrided) {
+  std::vector<double> x{1, 2, 3, 4}, y{10, 20, 30, 40};
+  axpy<double>(4, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36, 48}));
+  std::vector<double> ys{0, -1, 0, -1, 0, -1};
+  axpy<double>(3, 1.0, x.data(), 1, ys.data(), 2);
+  EXPECT_EQ(ys, (std::vector<double>{1, -1, 2, -1, 3, -1}));
+}
+
+TEST(Axpy, AlphaZeroIsNoOp) {
+  std::vector<double> x{1, 2}, y{5, 6};
+  axpy<double>(2, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{5, 6}));
+}
+
+TEST(Scal, ScalesInPlace) {
+  std::vector<float> x{1, 2, 3, 4};
+  scal<float>(2, 3.0f, x.data(), 2);  // only even indices
+  EXPECT_EQ(x, (std::vector<float>{3, 2, 9, 4}));
+}
+
+TEST(Copy, StridedCopy) {
+  std::vector<double> x{1, 2, 3}, y(6, 0.0);
+  copy<double>(3, x.data(), 1, y.data(), 2);
+  EXPECT_EQ(y, (std::vector<double>{1, 0, 2, 0, 3, 0}));
+}
+
+TEST(Dot, MatchesManualSum) {
+  std::vector<double> x(100), y(100);
+  fill_uniform(x.data(), 100, 1);
+  fill_uniform(y.data(), 100, 2);
+  double expect = 0;
+  for (int i = 0; i < 100; ++i) expect += x[(std::size_t)i] * y[(std::size_t)i];
+  EXPECT_NEAR(dot<double>(100, x.data(), 1, y.data(), 1), expect, 1e-12);
+}
+
+TEST(Nrm2, MatchesStdAndIsOverflowSafe) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2<double>(2, x.data(), 1), 5.0);
+  // Values whose squares would overflow double.
+  std::vector<double> big{1e200, 1e200};
+  EXPECT_NEAR(nrm2<double>(2, big.data(), 1), std::sqrt(2.0) * 1e200, 1e186);
+  // And underflow-prone values.
+  std::vector<double> tiny{1e-200, 1e-200};
+  EXPECT_NEAR(nrm2<double>(2, tiny.data(), 1), std::sqrt(2.0) * 1e-200, 1e-214);
+  EXPECT_DOUBLE_EQ(nrm2<double>(0, x.data(), 1), 0.0);
+}
+
+TEST(Asum, SumsAbsoluteValues) {
+  std::vector<double> x{-1, 2, -3};
+  EXPECT_DOUBLE_EQ(asum<double>(3, x.data(), 1), 6.0);
+}
+
+TEST(Iamax, FindsFirstMaximum) {
+  std::vector<double> x{1, -7, 3, 7};
+  EXPECT_EQ(iamax<double>(4, x.data(), 1), 1);  // first |7|
+  EXPECT_EQ(iamax<double>(0, x.data(), 1), -1);
+  std::vector<double> s{1, 99, 5, 99, 2, 99};
+  EXPECT_EQ(iamax<double>(3, s.data(), 2), 1);  // among {1,5,2}: 5 at logical index 1
+}
+
+}  // namespace
+}  // namespace fmmfft::blas

@@ -1,0 +1,113 @@
+// Tests for the multi-node extension (§7 outlook): hierarchical fabric
+// parameters, NIC serialization in the simulator, energy model, and the
+// projected growth of the FMM-FFT advantage with node count.
+#include <gtest/gtest.h>
+
+#include "dist/schedules.hpp"
+#include "model/arch.hpp"
+#include "model/counts.hpp"
+#include "model/energy.hpp"
+#include "sim/schedule.hpp"
+
+namespace fmmfft::model {
+namespace {
+
+TEST(Multinode, DerivedArchTopology) {
+  auto node = p100_nvlink(8);
+  auto sys = multinode(node, 4, 12e9, 1.5e-6);
+  EXPECT_EQ(sys.num_devices, 32);
+  EXPECT_EQ(sys.devices_per_node, 8);
+  EXPECT_TRUE(sys.multinode());
+  EXPECT_FALSE(node.multinode());
+  EXPECT_EQ(sys.node_of(0), 0);
+  EXPECT_EQ(sys.node_of(7), 0);
+  EXPECT_EQ(sys.node_of(8), 1);
+  EXPECT_TRUE(sys.same_node(0, 7));
+  EXPECT_FALSE(sys.same_node(7, 8));
+  EXPECT_DOUBLE_EQ(sys.internode_bw, 12e9);
+  // Intra-node parameters are inherited unchanged.
+  EXPECT_DOUBLE_EQ(sys.link_bw, node.link_bw);
+  EXPECT_DOUBLE_EQ(sys.gamma_d, node.gamma_d);
+}
+
+TEST(Multinode, InternodeLinkSeconds) {
+  auto sys = multinode(p100_nvlink(2), 2, 10e9, 2e-6);
+  EXPECT_NEAR(internode_link_seconds(10e9, sys), 1.0 + 2e-6, 1e-6);
+  EXPECT_LT(link_seconds(1e6, sys), internode_link_seconds(1e6, sys));
+}
+
+TEST(Multinode, SimulatorRoutesOverNic) {
+  // Same transfer intra vs inter: inter must be slower (10 vs 18 GB/s).
+  auto sys = multinode(p100_nvlink(2), 2);
+  {
+    sim::Schedule s;
+    s.add_comm(0, 1, "intra", 1e9, {});
+    sim::Schedule x;
+    x.add_comm(1, 2, "inter", 1e9, {});
+    const double ti = s.simulate(sys).total_seconds;
+    const double tx = x.simulate(sys).total_seconds;
+    EXPECT_NEAR(ti, sys.link_latency + 1e9 / sys.link_bw, 1e-9);
+    EXPECT_NEAR(tx, sys.internode_latency + 1e9 / sys.internode_bw, 1e-9);
+    EXPECT_GT(tx, ti);
+  }
+}
+
+TEST(Multinode, NicSerializesAcrossDevicePairs) {
+  // Two transfers leaving node 0 from different devices share its NIC.
+  auto sys = multinode(p100_nvlink(2), 2);
+  sim::Schedule s;
+  s.add_comm(0, 2, "a", 1e9, {});
+  s.add_comm(1, 3, "b", 1e9, {});
+  const double one = sys.internode_latency + 1e9 / sys.internode_bw;
+  EXPECT_NEAR(s.simulate(sys).total_seconds, 2 * one, 1e-9);
+  // Intra-node transfers on another node are unaffected by NIC pressure.
+  sim::Schedule m;
+  m.add_comm(0, 2, "a", 1e9, {});
+  m.add_comm(2, 3, "intra", 1e9, {});
+  EXPECT_LT(m.simulate(sys).total_seconds, 2 * one);
+}
+
+TEST(Multinode, SpeedupGrowsWithNodes) {
+  // The §7 claim the projection bench quantifies.
+  const index_t n = index_t(1) << 26;
+  const Workload w{n, true, true};
+  double prev = 0;
+  for (int nodes : {1, 2, 4}) {
+    auto arch = nodes == 1 ? p100_nvlink(8) : multinode(p100_nvlink(8), nodes);
+    auto prm = search_best_params(n, arch.num_devices, w, arch, 16);
+    const double t_fmm =
+        dist::fmmfft_schedule(prm, w, arch.num_devices).simulate(arch).total_seconds;
+    const double t_base =
+        dist::baseline1d_schedule(n, w, arch.num_devices).simulate(arch).total_seconds;
+    const double speedup = t_base / t_fmm;
+    EXPECT_GT(speedup, prev * 0.95) << nodes << " nodes";  // non-decreasing (5% slack)
+    if (nodes > 1) {
+      EXPECT_GT(speedup, 2.0) << nodes << " nodes";
+    }
+    prev = speedup;
+  }
+}
+
+TEST(Energy, ActivityModel) {
+  PowerParams p{200.0, 20.0, 50.0};
+  // 1 s makespan, 0.5 s kernels, 0.25 s comm, 2 devices:
+  EXPECT_DOUBLE_EQ(energy_joules(1.0, 0.5, 0.25, 2, p), 0.5 * 200 + 0.25 * 20 + 1.0 * 2 * 50);
+  EXPECT_DOUBLE_EQ(energy_joules(0, 0, 0, 8, p), 0.0);
+}
+
+TEST(Energy, FmmFftWinsOnEnergyWhenCommBound) {
+  // Comm-bound baseline burns idle power while links drain; the FMM-FFT's
+  // shorter makespan wins on joules even though it computes more.
+  const index_t n = index_t(1) << 27;
+  const Workload w{n, true, true};
+  auto arch = p100_nvlink(8);
+  auto prm = search_best_params(n, 8, w, arch, 16);
+  auto rf = dist::fmmfft_schedule(prm, w, 8).simulate(arch);
+  auto rb = dist::baseline1d_schedule(n, w, 8).simulate(arch);
+  const double ef = energy_joules(rf.total_seconds, rf.kernel_busy, rf.comm_busy, 8);
+  const double eb = energy_joules(rb.total_seconds, rb.kernel_busy, rb.comm_busy, 8);
+  EXPECT_LT(ef, eb);
+}
+
+}  // namespace
+}  // namespace fmmfft::model

@@ -1,0 +1,268 @@
+// Tests for the nonequispaced FFT subsystem: the nonuniform-target FMM
+// against direct cotangent sums, and the type-2 NUFFT against direct
+// Fourier-series evaluation — random, clustered, and grid-coincident
+// target distributions, both precisions, error-vs-Q decay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "nufft/nufft.hpp"
+#include "nufft/nufmm.hpp"
+
+namespace fmmfft::nufft {
+namespace {
+
+using Cd = std::complex<double>;
+
+std::vector<double> random_targets(index_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(m));
+  for (auto& v : x) v = rng.uniform01() * 2.0 * pi_v<double> * 0.999999;
+  return x;
+}
+
+std::vector<double> clustered_targets(index_t m) {
+  // Chebyshev-style clustering near 0 and 2π: the hard case for uniform-box
+  // schemes, routine for the FMM.
+  std::vector<double> x(static_cast<std::size_t>(m));
+  for (index_t j = 0; j < m; ++j)
+    x[(std::size_t)j] = pi_v<double> * (1.0 - std::cos(pi_v<double> * (j + 0.5) / double(m)));
+  return x;
+}
+
+TEST(NuFmm, MatchesDirectSumRandomTargets) {
+  const index_t n = 1 << 10, m = 500;
+  NonuniformFmm<double> fmm(n, random_targets(m, 1), 18, 8, 3);
+  std::vector<Cd> q(static_cast<std::size_t>(n)), got(static_cast<std::size_t>(m)),
+      ref(static_cast<std::size_t>(m));
+  fill_uniform(q.data(), n, 2);
+  fmm.apply(q.data(), got.data());
+  fmm.apply_direct(q.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), m), 1e-12);
+  EXPECT_EQ(fmm.num_sources(), n);
+  EXPECT_EQ(fmm.num_targets(), m);
+}
+
+TEST(NuFmm, MatchesDirectSumClusteredTargets) {
+  const index_t n = 1 << 10, m = 300;
+  NonuniformFmm<double> fmm(n, clustered_targets(m), 18, 8, 3);
+  std::vector<Cd> q(static_cast<std::size_t>(n)), got(static_cast<std::size_t>(m)),
+      ref(static_cast<std::size_t>(m));
+  fill_uniform(q.data(), n, 3);
+  fmm.apply(q.data(), got.data());
+  fmm.apply_direct(q.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), m), 1e-12);
+}
+
+TEST(NuFmm, ErrorDecreasesWithQ) {
+  const index_t n = 1 << 10, m = 200;
+  auto targets = random_targets(m, 4);
+  std::vector<Cd> q(static_cast<std::size_t>(n)), ref(static_cast<std::size_t>(m));
+  fill_uniform(q.data(), n, 5);
+  NonuniformFmm<double>(n, targets, 18, 8, 3).apply_direct(q.data(), ref.data());
+  double prev = 1e300;
+  for (int qq : {4, 8, 12, 16}) {
+    NonuniformFmm<double> fmm(n, targets, qq, 8, 3);
+    std::vector<Cd> got(static_cast<std::size_t>(m));
+    fmm.apply(q.data(), got.data());
+    const double err = rel_l2_error(got.data(), ref.data(), m);
+    EXPECT_LT(err, prev) << "q=" << qq;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-11);
+}
+
+TEST(NuFmm, DetectsAndSkipsGridHits) {
+  const index_t n = 256;
+  std::vector<double> targets{2.0 * pi_v<double> * 5 / n, 1.0,
+                              2.0 * pi_v<double> * 200 / n};
+  NonuniformFmm<double> fmm(n, targets, 18, 8, 3);
+  ASSERT_EQ(fmm.exact_hits().size(), 2u);
+  EXPECT_EQ(fmm.exact_hits()[0].first, 0);
+  EXPECT_EQ(fmm.exact_hits()[0].second, 5);
+  EXPECT_EQ(fmm.exact_hits()[1].second, 200);
+  // apply() must produce finite values for the coincident targets.
+  std::vector<Cd> q(static_cast<std::size_t>(n)), got(3);
+  fill_uniform(q.data(), n, 6);
+  fmm.apply(q.data(), got.data());
+  for (auto& v : got) EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  std::vector<Cd> ref(3);
+  fmm.apply_direct(q.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), 3), 1e-12);
+}
+
+TEST(NuFmm, RejectsBadConfig) {
+  EXPECT_THROW(NonuniformFmm<double>(100, {0.5}, 8, 8, 3), Error);   // n not pow2
+  EXPECT_THROW(NonuniformFmm<double>(256, {7.0}, 8, 8, 3), Error);   // target out of range
+  EXPECT_THROW(NonuniformFmm<double>(256, {0.5}, 8, 8, 9), Error);   // B > L
+}
+
+class NufftTargets : public ::testing::TestWithParam<int> {};
+
+TEST_P(NufftTargets, MatchesDirectSeriesEvaluation) {
+  const index_t n = 1 << GetParam(), m = 400;
+  NufftType2<double> plan(n, random_targets(m, GetParam()), 18, 16, 3);
+  std::vector<Cd> c(static_cast<std::size_t>(n)), got(static_cast<std::size_t>(m)),
+      ref(static_cast<std::size_t>(m));
+  fill_uniform(c.data(), n, 10 + GetParam());
+  plan.execute(c.data(), got.data());
+  plan.reference(c.data(), ref.data());
+  // Tolerance grows mildly with n: the near-field cotangent terms scale
+  // like n for targets close to grid points, amplifying rounding before
+  // the sin(n·x/2) factor restores the O(1) result.
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), m), GetParam() >= 13 ? 1e-9 : 1e-11)
+      << "n=2^" << GetParam();
+  EXPECT_EQ(plan.spectrum_size(), n);
+  EXPECT_EQ(plan.num_targets(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NufftTargets, ::testing::Values(8, 10, 12, 14));
+
+TEST(Nufft, GridTargetsReproduceInverseFft) {
+  // When the targets ARE the uniform grid, the NUFFT must agree with the
+  // plain inverse DFT at those points.
+  const index_t n = 512;
+  std::vector<double> targets(static_cast<std::size_t>(n));
+  for (index_t m = 0; m < n; ++m) targets[(std::size_t)m] = 2.0 * pi_v<double> * m / n;
+  NufftType2<double> plan(n, targets, 18, 8, 3);
+  std::vector<Cd> c(static_cast<std::size_t>(n)), got(c.size()), ref(c.size());
+  fill_uniform(c.data(), n, 20);
+  plan.execute(c.data(), got.data());
+  plan.reference(c.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), 1e-12);
+}
+
+TEST(Nufft, PureToneEvaluatesExactly) {
+  const index_t n = 256, m = 100;
+  auto targets = random_targets(m, 9);
+  std::vector<Cd> c(static_cast<std::size_t>(n), Cd(0));
+  const index_t k = 7;
+  c[(std::size_t)k] = Cd(1, 0);
+  NufftType2<double> plan(n, targets, 18, 8, 3);
+  std::vector<Cd> got(static_cast<std::size_t>(m));
+  plan.execute(c.data(), got.data());
+  for (index_t j = 0; j < m; ++j) {
+    const Cd expect = std::exp(Cd(0, double(k) * targets[(std::size_t)j]));
+    EXPECT_NEAR(std::abs(got[(std::size_t)j] - expect), 0.0, 1e-11);
+  }
+}
+
+TEST(Nufft, NegativeFrequencyAndNyquist) {
+  const index_t n = 128, m = 64;
+  auto targets = random_targets(m, 11);
+  NufftType2<double> plan(n, targets, 18, 8, 3);
+  // Negative frequency bin.
+  std::vector<Cd> c(static_cast<std::size_t>(n), Cd(0));
+  c[(std::size_t)(n - 3)] = Cd(0.5, -0.25);  // k̃ = -3
+  std::vector<Cd> got(static_cast<std::size_t>(m));
+  plan.execute(c.data(), got.data());
+  for (index_t j = 0; j < m; ++j) {
+    const Cd expect = Cd(0.5, -0.25) * std::exp(Cd(0, -3.0 * targets[(std::size_t)j]));
+    EXPECT_NEAR(std::abs(got[(std::size_t)j] - expect), 0.0, 1e-11);
+  }
+  // Nyquist bin uses the symmetric cosine convention.
+  std::fill(c.begin(), c.end(), Cd(0));
+  c[(std::size_t)(n / 2)] = Cd(1, 0);
+  plan.execute(c.data(), got.data());
+  for (index_t j = 0; j < m; ++j)
+    EXPECT_NEAR(std::abs(got[(std::size_t)j] -
+                         Cd(std::cos(n / 2.0 * targets[(std::size_t)j]), 0)),
+                0.0, 1e-12);
+}
+
+TEST(Nufft, FloatPrecision) {
+  const index_t n = 1 << 10, m = 200;
+  auto td = random_targets(m, 12);
+  std::vector<float> tf(td.begin(), td.end());
+  NufftType2<float> plan(n, tf, 8, 16, 3);
+  std::vector<std::complex<float>> c(static_cast<std::size_t>(n)), got(static_cast<std::size_t>(m)),
+      ref(static_cast<std::size_t>(m));
+  fill_uniform(c.data(), n, 13);
+  plan.execute(c.data(), got.data());
+  plan.reference(c.data(), ref.data());
+  std::vector<Cd> gd(got.size()), rd(ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    gd[i] = Cd(got[i].real(), got[i].imag());
+    rd[i] = Cd(ref[i].real(), ref[i].imag());
+  }
+  EXPECT_LT(rel_l2_error(gd.data(), rd.data(), m), 5e-4);
+}
+
+
+TEST(NuFmmTranspose, MatchesDirectTransposeSum) {
+  const index_t n = 1 << 10, m = 400;
+  NonuniformFmm<double> fmm(n, random_targets(m, 31), 18, 8, 3);
+  std::vector<Cd> g(static_cast<std::size_t>(m)), got(static_cast<std::size_t>(n)),
+      ref(static_cast<std::size_t>(n));
+  fill_uniform(g.data(), m, 32);
+  fmm.apply_transpose(g.data(), got.data());
+  fmm.apply_transpose_direct(g.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), 1e-12);
+}
+
+TEST(NuFmmTranspose, AdjointProperty) {
+  // <K q, g> == <q, K^T g> for the real kernel with complex vectors
+  // (bilinear pairing, no conjugation): checks forward/transpose agree.
+  const index_t n = 512, m = 200;
+  NonuniformFmm<double> fmm(n, random_targets(m, 33), 18, 8, 3);
+  std::vector<Cd> q(static_cast<std::size_t>(n)), g(static_cast<std::size_t>(m));
+  fill_uniform(q.data(), n, 34);
+  fill_uniform(g.data(), m, 35);
+  std::vector<Cd> kq(static_cast<std::size_t>(m)), ktg(static_cast<std::size_t>(n));
+  fmm.apply(q.data(), kq.data());
+  fmm.apply_transpose(g.data(), ktg.data());
+  Cd lhs = 0, rhs = 0;
+  for (index_t j = 0; j < m; ++j) lhs += kq[(std::size_t)j] * g[(std::size_t)j];
+  for (index_t i = 0; i < n; ++i) rhs += q[(std::size_t)i] * ktg[(std::size_t)i];
+  EXPECT_NEAR(std::abs(lhs - rhs) / std::abs(lhs), 0.0, 1e-11);
+}
+
+TEST(NufftType1, MatchesDirectAdjoint) {
+  const index_t n = 1 << 10, m = 300;
+  NufftType1<double> plan(n, random_targets(m, 41), 18, 16, 3);
+  std::vector<Cd> g(static_cast<std::size_t>(m)), got(static_cast<std::size_t>(n)),
+      ref(static_cast<std::size_t>(n));
+  fill_uniform(g.data(), m, 42);
+  plan.execute(g.data(), got.data());
+  plan.reference(g.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), 1e-11);
+  EXPECT_EQ(plan.spectrum_size(), n);
+  EXPECT_EQ(plan.num_points(), m);
+}
+
+TEST(NufftType1, HandlesGridCoincidentPoints) {
+  const index_t n = 256;
+  std::vector<double> pts{2.0 * pi_v<double> * 10 / n, 0.7, 2.0 * pi_v<double> * 99 / n, 2.5};
+  NufftType1<double> plan(n, pts, 18, 8, 3);
+  std::vector<Cd> g{{1, 0.5}, {-2, 0}, {0.3, -1}, {0, 2}};
+  std::vector<Cd> got(static_cast<std::size_t>(n)), ref(static_cast<std::size_t>(n));
+  plan.execute(g.data(), got.data());
+  plan.reference(g.data(), ref.data());
+  EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), 1e-11);
+}
+
+TEST(NufftType1, AdjointOfType2) {
+  // <A c, g> with conjugation = <c, A^H g>: type-1 IS type-2's
+  // conjugate-transpose by construction.
+  const index_t n = 512, m = 150;
+  auto pts = random_targets(m, 51);
+  NufftType2<double> fwd(n, pts, 18, 8, 3);
+  NufftType1<double> adj(n, pts, 18, 8, 3);
+  std::vector<Cd> c(static_cast<std::size_t>(n)), g(static_cast<std::size_t>(m));
+  fill_uniform(c.data(), n, 52);
+  fill_uniform(g.data(), m, 53);
+  std::vector<Cd> ac(static_cast<std::size_t>(m)), ahg(static_cast<std::size_t>(n));
+  fwd.execute(c.data(), ac.data());
+  adj.execute(g.data(), ahg.data());
+  Cd lhs = 0, rhs = 0;
+  for (index_t j = 0; j < m; ++j) lhs += ac[(std::size_t)j] * std::conj(g[(std::size_t)j]);
+  for (index_t k = 0; k < n; ++k) rhs += c[(std::size_t)k] * std::conj(ahg[(std::size_t)k]);
+  EXPECT_NEAR(std::abs(lhs - rhs) / std::abs(lhs), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace fmmfft::nufft

@@ -1,0 +1,262 @@
+// Tests for the FMM operator builders: S2M/M2M column-sum invariants, S2T
+// Toeplitz consistency with the cotangent kernel, M2L entries, rho values,
+// dense C_p structure, parameter validation and enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/math.hpp"
+#include "fmm/chebyshev.hpp"
+#include "fmm/operators.hpp"
+#include "fmm/params.hpp"
+
+namespace fmmfft::fmm {
+namespace {
+
+TEST(Params, DerivedQuantities) {
+  Params prm{1 << 12, 32, 8, 2, 10};
+  prm.validate();
+  EXPECT_EQ(prm.m(), 128);
+  EXPECT_EQ(prm.l(), 4);
+  EXPECT_EQ(prm.leaves(), 16);
+  EXPECT_EQ(prm.boxes(2), 4);
+  EXPECT_NE(prm.to_string().find("L=4"), std::string::npos);
+}
+
+TEST(Params, ValidationRejectsBadShapes) {
+  EXPECT_THROW((Params{100, 10, 2, 2, 8}.validate()), Error);       // N not pow2
+  EXPECT_THROW((Params{1 << 12, 3, 8, 2, 8}.validate()), Error);    // P not pow2
+  EXPECT_THROW((Params{1 << 12, 32, 64, 2, 8}.validate()), Error);  // L < B (M=128, 2^L=2)
+  EXPECT_THROW((Params{1 << 12, 32, 8, 1, 8}.validate()), Error);   // B < 2
+  EXPECT_THROW((Params{1 << 12, 32, 8, 5, 8}.validate()), Error);   // B > L
+  EXPECT_NO_THROW((Params{1 << 12, 32, 8, 4, 8}.validate()));       // B == L ok
+}
+
+TEST(Params, DistributedConstraints) {
+  Params prm{1 << 14, 64, 8, 2, 8};  // M=256, L=5
+  EXPECT_TRUE(prm.is_admissible(1));
+  EXPECT_TRUE(prm.is_admissible(4));   // 2^B = 4 >= G
+  EXPECT_FALSE(prm.is_admissible(8));  // 2^B = 4 < 8
+  Params b3{1 << 14, 64, 8, 3, 8};
+  EXPECT_TRUE(b3.is_admissible(8));
+}
+
+TEST(Params, AdmissibleEnumerationRespectsRules) {
+  auto all = admissible_params(1 << 16, 2, 16);
+  EXPECT_FALSE(all.empty());
+  for (const auto& prm : all) {
+    EXPECT_NO_THROW(prm.validate_distributed(2));
+    EXPECT_GE(prm.p, 32);
+    EXPECT_EQ(prm.n, 1 << 16);
+  }
+  // Larger G shrinks (or keeps) the space.
+  auto g8 = admissible_params(1 << 16, 8, 16);
+  EXPECT_LE(g8.size(), all.size());
+}
+
+TEST(S2M, ColumnsSumToOne) {
+  for (auto [q, ml] : {std::pair{8, 16}, {16, 64}, {16, 4}, {3, 1}}) {
+    auto s2m = s2m_matrix(q, ml);
+    for (index_t m = 0; m < ml; ++m) {
+      double s = 0;
+      for (int qi = 0; qi < q; ++qi) s += s2m[(std::size_t)(qi + m * q)];
+      EXPECT_NEAR(s, 1.0, 1e-12) << "q=" << q << " ml=" << ml << " m=" << m;
+    }
+  }
+}
+
+TEST(S2M, EntriesAreLagrangeValuesAtLeafPoints) {
+  const int q = 8;
+  const index_t ml = 16;
+  auto s2m = s2m_matrix(q, ml);
+  for (index_t m = 0; m < ml; ++m) {
+    double sm = -1.0 + (2.0 * m + 1.0) / ml;
+    std::vector<double> l(q);
+    lagrange_eval(q, sm, l.data());
+    for (int qi = 0; qi < q; ++qi) EXPECT_EQ(s2m[(std::size_t)(qi + m * q)], l[qi]);
+  }
+}
+
+TEST(S2M, L2TTransposeRoundTripPreservesLowDegreeData) {
+  // L2T = S2M^T: pushing polynomial values of degree < Q through
+  // S2M (samples -> coefficients) and evaluating back via interpolation at
+  // the leaf points must reproduce them exactly.
+  const int q = 8;
+  const index_t ml = 4;
+  auto s2m = s2m_matrix(q, ml);
+  auto f = [](double x) { return ((2 * x - 1) * x + 3) * x - 0.5; };
+  // When M_L <= Q the Lagrange *transpose* is not an inverse; instead test
+  // evaluation: coefficients sampled from f at Chebyshev nodes, L2T gives
+  // f at leaf points exactly for deg(f) < Q.
+  auto z = chebyshev_points(q);
+  std::vector<double> coeff(q);
+  for (int qi = 0; qi < q; ++qi) coeff[qi] = f(z[(std::size_t)qi]);
+  for (index_t m = 0; m < ml; ++m) {
+    double sm = -1.0 + (2.0 * m + 1.0) / ml;
+    double val = 0;
+    for (int qi = 0; qi < q; ++qi) val += s2m[(std::size_t)(qi + m * q)] * coeff[qi];
+    EXPECT_NEAR(val, f(sm), 1e-11);
+  }
+}
+
+TEST(M2M, ColumnsSumToOne) {
+  for (int q : {4, 8, 16}) {
+    auto m2m = m2m_matrix(q);
+    for (int k = 0; k < 2 * q; ++k) {
+      double s = 0;
+      for (int qi = 0; qi < q; ++qi) s += m2m[(std::size_t)(qi + k * q)];
+      EXPECT_NEAR(s, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(M2M, ChildHalvesMapIntoParentInterval) {
+  // M2M- evaluates at (z_k - 1)/2 in [-1, 0]; M2M+ at (z_k + 1)/2 in [0, 1].
+  const int q = 6;
+  auto z = chebyshev_points(q);
+  auto m2m = m2m_matrix(q);
+  std::vector<double> l(q);
+  for (int k = 0; k < q; ++k) {
+    lagrange_eval(q, (z[k] - 1.0) / 2.0, l.data());
+    for (int qi = 0; qi < q; ++qi) EXPECT_EQ(m2m[(std::size_t)(qi + k * q)], l[qi]);
+    lagrange_eval(q, (z[k] + 1.0) / 2.0, l.data());
+    for (int qi = 0; qi < q; ++qi) EXPECT_EQ(m2m[(std::size_t)(qi + (q + k) * q)], l[qi]);
+  }
+}
+
+TEST(S2T, TableMatchesCotKernelAndIdentity) {
+  Params prm{1 << 10, 32, 4, 2, 4};  // M=32, ML=4, L=3
+  prm.validate();
+  for (int c : {1, 2}) {
+    auto tab = s2t_table(prm, c);
+    const index_t nk = 4 * prm.ml - 1;
+    ASSERT_EQ((index_t)tab.size(), nk * c * prm.p);
+    for (index_t ki = 0; ki < nk; ++ki) {
+      index_t k = ki - (2 * prm.ml - 1);
+      for (index_t p = 0; p < prm.p; ++p)
+        for (int cc = 0; cc < c; ++cc) {
+          double v = tab[(std::size_t)(ki * c * prm.p + cc + c * p)];
+          if (p == 0) {
+            EXPECT_EQ(v, k == 0 ? 1.0 : 0.0);
+          } else {
+            EXPECT_NEAR(v, cot(pi_v<double> * double(p + prm.p * k) / double(prm.n)), 1e-12);
+          }
+        }
+    }
+  }
+}
+
+TEST(S2T, TableEqualsKernelAtPointPairs) {
+  // S2T_{p,(j-i)} must equal cot_kernel between integer points j-i apart.
+  Params prm{1 << 10, 32, 4, 2, 4};
+  auto tab = s2t_table(prm, 1);
+  for (index_t p = 1; p < prm.p; ++p)
+    for (index_t k = -(2 * prm.ml - 1); k <= 2 * prm.ml - 1; ++k) {
+      // cot_kernel takes (n - m) on the M-point grid of one FMM; the S2T
+      // table index k is exactly that offset.
+      double expect = cot_kernel(prm, p, 0, k);
+      double got = tab[(std::size_t)((k + 2 * prm.ml - 1) * prm.p + p)];
+      EXPECT_NEAR(got, expect, 1e-12) << "p=" << p << " k=" << k;
+    }
+}
+
+TEST(M2L, EntriesMatchFormula) {
+  Params prm{1 << 12, 64, 4, 2, 6};  // M=64, L=4
+  const int level = 3, c = 2;
+  const index_t s = -2;
+  auto z = chebyshev_points(prm.q);
+  auto tab = m2l_table(prm, level, s, c);
+  for (index_t j = 0; j < prm.q; ++j)
+    for (index_t i = 0; i < prm.q; ++i)
+      for (index_t pp = 0; pp < prm.p - 1; ++pp) {
+        double expect = cot(pi_v<double> / 8.0 * (z[(std::size_t)j] / 2 - z[(std::size_t)i] / 2 + double(s)) +
+                            pi_v<double> * double(pp + 1) / double(prm.n));
+        for (int cc = 0; cc < c; ++cc) {
+          double got = tab[(std::size_t)((i + prm.q * j) * c * (prm.p - 1) + cc + c * pp)];
+          EXPECT_NEAR(got, expect, 1e-12);
+        }
+      }
+}
+
+TEST(Rho, MatchesClosedForm) {
+  const index_t p_total = 16, m = 64;
+  for (index_t p = 1; p < p_total; ++p) {
+    auto r = rho(p, p_total, m);
+    double a = pi_v<double> * double(p) / double(p_total);
+    EXPECT_NEAR(r.real(), std::cos(a) * std::sin(a) / m, 1e-14);
+    EXPECT_NEAR(r.imag(), -std::sin(a) * std::sin(a) / m, 1e-14);
+  }
+}
+
+TEST(DenseCp, P0IsIdentity) {
+  Params prm{1 << 8, 16, 4, 2, 4};
+  auto c0 = dense_cp(prm, 0);
+  const index_t m = prm.m();
+  for (index_t j = 0; j < m; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_EQ(c0[(std::size_t)(i + j * m)], std::complex<double>(i == j ? 1.0 : 0.0));
+}
+
+TEST(DenseCp, EntriesMatchDefinition) {
+  Params prm{1 << 8, 16, 4, 2, 4};
+  const index_t p = 3, m = prm.m();
+  auto cp = dense_cp(prm, p);
+  auto r = rho(p, prm.p, m);
+  for (index_t col : {index_t(0), index_t(5), m - 1})
+    for (index_t row : {index_t(0), index_t(2), m - 1}) {
+      auto expect = r * std::complex<double>(cot(pi_v<double> / double(m) * double(col - row) +
+                                                 pi_v<double> * double(p) / double(prm.n)),
+                                             1.0);
+      auto got = cp[(std::size_t)(row + col * m)];
+      EXPECT_NEAR(std::abs(got - expect), 0.0, 1e-14);
+    }
+}
+
+TEST(InteractionLists, CousinSeparations) {
+  const index_t* even = cousin_separations(false);
+  const index_t* odd = cousin_separations(true);
+  EXPECT_EQ(std::vector<index_t>(even, even + 3), (std::vector<index_t>{-2, 2, 3}));
+  EXPECT_EQ(std::vector<index_t>(odd, odd + 3), (std::vector<index_t>{-3, -2, 2}));
+  for (index_t s : level_separations()) {
+    bool any = separation_applies(s, false) || separation_applies(s, true);
+    EXPECT_TRUE(any);
+  }
+  EXPECT_FALSE(separation_applies(0, false));
+  EXPECT_FALSE(separation_applies(1, true));
+  EXPECT_TRUE(separation_applies(3, false));
+  EXPECT_FALSE(separation_applies(3, true));
+  EXPECT_TRUE(separation_applies(-3, true));
+  EXPECT_FALSE(separation_applies(-3, false));
+}
+
+TEST(DenseCp, RowSumsRelateToReduction) {
+  // The imaginary +i in C_p contributes rho_p * i * sum(x) to every output:
+  // check by applying C_p to a constant vector and comparing to the
+  // analytic row sum of cot + i over one period being pure M·i ... the
+  // cotangent row sums cancel pairwise over the period for p's symmetric
+  // structure only in aggregate; we simply verify the +i term directly.
+  Params prm{1 << 8, 16, 4, 2, 4};
+  const index_t p = 5, m = prm.m();
+  auto cp = dense_cp(prm, p);
+  auto r = rho(p, prm.p, m);
+  // Difference of applying C_p to x and to x with the +i removed equals
+  // rho * i * sum(x).
+  std::vector<std::complex<double>> x(m);
+  for (index_t k = 0; k < m; ++k) x[(std::size_t)k] = std::complex<double>(0.3 * k - 1, 0.1 * k);
+  std::complex<double> sum = 0;
+  for (auto& v : x) sum += v;
+  for (index_t row : {index_t(0), m / 2}) {
+    std::complex<double> full = 0, cot_only = 0;
+    for (index_t col = 0; col < m; ++col) {
+      full += cp[(std::size_t)(row + col * m)] * x[(std::size_t)col];
+      cot_only += (cp[(std::size_t)(row + col * m)] - r * std::complex<double>(0, 1)) * x[(std::size_t)col];
+    }
+    auto diff = full - cot_only;
+    auto expect = r * std::complex<double>(0, 1) * sum;
+    EXPECT_NEAR(std::abs(diff - expect), 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace fmmfft::fmm

@@ -1,0 +1,104 @@
+// Tests for the 3D FFT plan.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/plan3d.hpp"
+
+namespace fmmfft::fft {
+namespace {
+
+using Cd = std::complex<double>;
+
+/// Brute-force separable reference: 1D reference DFTs along each axis.
+std::vector<Cd> reference_3d(std::vector<Cd> x, index_t n0, index_t n1, index_t n2) {
+  std::vector<Cd> line, out;
+  for (index_t k = 0; k < n2; ++k)
+    for (index_t j = 0; j < n1; ++j) {
+      line.assign(x.begin() + j * n0 + k * n0 * n1, x.begin() + (j + 1) * n0 + k * n0 * n1);
+      out.resize(line.size());
+      dft_reference(line.data(), out.data(), n0);
+      std::copy(out.begin(), out.end(), x.begin() + j * n0 + k * n0 * n1);
+    }
+  for (index_t k = 0; k < n2; ++k)
+    for (index_t i = 0; i < n0; ++i) {
+      line.resize((std::size_t)n1);
+      for (index_t j = 0; j < n1; ++j) line[(std::size_t)j] = x[(std::size_t)(i + j * n0 + k * n0 * n1)];
+      out.resize(line.size());
+      dft_reference(line.data(), out.data(), n1);
+      for (index_t j = 0; j < n1; ++j) x[(std::size_t)(i + j * n0 + k * n0 * n1)] = out[(std::size_t)j];
+    }
+  for (index_t j = 0; j < n1; ++j)
+    for (index_t i = 0; i < n0; ++i) {
+      line.resize((std::size_t)n2);
+      for (index_t k = 0; k < n2; ++k) line[(std::size_t)k] = x[(std::size_t)(i + j * n0 + k * n0 * n1)];
+      out.resize(line.size());
+      dft_reference(line.data(), out.data(), n2);
+      for (index_t k = 0; k < n2; ++k) x[(std::size_t)(i + j * n0 + k * n0 * n1)] = out[(std::size_t)k];
+    }
+  return x;
+}
+
+TEST(Plan3D, MatchesSeparableReference) {
+  for (auto [n0, n1, n2] : {std::tuple<index_t, index_t, index_t>{8, 4, 2},
+                            {4, 8, 16}, {16, 16, 16}, {3, 5, 7}}) {
+    std::vector<Cd> x(static_cast<std::size_t>(n0 * n1 * n2));
+    fill_uniform(x.data(), (index_t)x.size(), n0 + n1 + n2);
+    auto ref = reference_3d(x, n0, n1, n2);
+    Plan3D<double> plan(n0, n1, n2);
+    plan.execute(x.data(), Direction::Forward);
+    EXPECT_LT(rel_l2_error(x.data(), ref.data(), (index_t)x.size()), 1e-12)
+        << n0 << "x" << n1 << "x" << n2;
+  }
+}
+
+TEST(Plan3D, RoundTrip) {
+  const index_t n0 = 8, n1 = 16, n2 = 4;
+  std::vector<Cd> x(static_cast<std::size_t>(n0 * n1 * n2));
+  fill_uniform(x.data(), (index_t)x.size(), 9);
+  auto orig = x;
+  Plan3D<double> plan(n0, n1, n2);
+  plan.execute(x.data(), Direction::Forward);
+  plan.execute(x.data(), Direction::Inverse);
+  normalize(x.data(), (index_t)x.size(), n0 * n1 * n2);
+  EXPECT_LT(rel_l2_error(x.data(), orig.data(), (index_t)x.size()), 1e-13);
+  EXPECT_EQ(plan.size0(), n0);
+  EXPECT_EQ(plan.size1(), n1);
+  EXPECT_EQ(plan.size2(), n2);
+}
+
+TEST(Plan3D, SeparableImpulse) {
+  // delta at origin -> constant 1 everywhere.
+  const index_t n0 = 4, n1 = 4, n2 = 4;
+  std::vector<Cd> x(static_cast<std::size_t>(n0 * n1 * n2), Cd(0));
+  x[0] = Cd(1, 0);
+  Plan3D<double> plan(n0, n1, n2);
+  plan.execute(x.data(), Direction::Forward);
+  for (auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-13);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-13);
+  }
+}
+
+TEST(Plan3D, FloatVariant) {
+  const index_t n0 = 8, n1 = 8, n2 = 8;
+  std::vector<std::complex<float>> x(static_cast<std::size_t>(n0 * n1 * n2));
+  fill_uniform(x.data(), (index_t)x.size(), 4);
+  auto orig = x;
+  Plan3D<float> plan(n0, n1, n2);
+  plan.execute(x.data(), Direction::Forward);
+  plan.execute(x.data(), Direction::Inverse);
+  normalize(x.data(), (index_t)x.size(), n0 * n1 * n2);
+  EXPECT_LT(rel_l2_error(x.data(), orig.data(), (index_t)x.size()), 1e-5);
+}
+
+TEST(Plan3D, RejectsEmptyDims) {
+  EXPECT_THROW(Plan3D<double>(0, 4, 4), Error);
+}
+
+}  // namespace
+}  // namespace fmmfft::fft

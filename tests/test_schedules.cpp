@@ -1,0 +1,186 @@
+// Tests for the schedule builders: launch census vs the paper's Fig. 2
+// accounting, comm-byte agreement between the schedule and the executed
+// fabric ledger, overlap behaviour under simulation, and the regimes the
+// paper reports (baseline comm-bound, FMM-FFT winning at large N).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "dist/dfmmfft.hpp"
+#include "dist/schedules.hpp"
+#include "model/counts.hpp"
+
+namespace fmmfft::dist {
+namespace {
+
+using Cd = std::complex<double>;
+
+model::Workload wl(index_t n, bool cplx = true, bool dbl = true) { return {n, cplx, dbl}; }
+
+TEST(FmmFftSchedule, Fig2LaunchCensus) {
+  // Paper Fig. 2: N=2^27, P=256, ML=64, B=3 -> 255 FMMs of 524k in 35
+  // launches per device: S2M 1, M2M 10, S2T 1, M2L 11, Reduce 1, L2L 10,
+  // L2T 1.
+  fmm::Params prm{index_t(1) << 27, 256, 64, 3, 16};
+  EXPECT_EQ(prm.m(), index_t(524288));
+  EXPECT_EQ(prm.l(), 13);
+  const int g = 2;
+  auto sched = fmmfft_schedule(prm, wl(prm.n), g);
+  index_t fmm_kernels = 0;
+  for (const auto& op : sched.ops()) {
+    if (op.kind != sim::Op::Kind::Kernel || op.device != 0) continue;
+    if (op.label == "POST" || op.label == "SYNC" || op.label.rfind("FFT-", 0) == 0 ||
+        op.label.rfind("A2A", 0) == 0)
+      continue;  // the 2D-FFT stage and its transpose machinery
+    ++fmm_kernels;
+  }
+  EXPECT_EQ(fmm_kernels, 35);
+}
+
+TEST(FmmFftSchedule, CommBytesMatchExecutedFabric) {
+  // The schedule is the timing twin of the execution: its total comm bytes
+  // must equal the fabric ledger of a real run.
+  fmm::Params prm{1 << 14, 64, 4, 3, 12};
+  const int g = 4;
+  auto sched = fmmfft_schedule(prm, wl(prm.n), g);
+
+  std::vector<Cd> x(static_cast<std::size_t>(prm.n)), y(x.size());
+  fill_uniform(x.data(), prm.n, 1);
+  DistFmmFft<Cd> plan(prm, g);
+  plan.execute(x.data(), y.data());
+
+  EXPECT_NEAR(sched.total_comm_bytes() / plan.fabric().total_bytes(), 1.0, 1e-12);
+}
+
+TEST(Baseline1dSchedule, CommBytesMatchExecutedFabric) {
+  const index_t n = 1 << 14;
+  const int g = 4;
+  auto sched = baseline1d_schedule(n, wl(n), g);
+  std::vector<Cd> x(static_cast<std::size_t>(n)), y(x.size());
+  fill_uniform(x.data(), n, 2);
+  DistFft1d<double> fftd(n, g);
+  fftd.execute(x.data(), y.data());
+  EXPECT_NEAR(sched.total_comm_bytes() / fftd.fabric().total_bytes(), 1.0, 1e-12);
+}
+
+TEST(Baseline1dSchedule, CommBoundAtLargeN) {
+  // Fig. 2 top: the baseline's timeline is dominated by the transposes.
+  const index_t n = index_t(1) << 27;
+  auto arch = model::p100_nvlink(2);
+  auto sched = baseline1d_schedule(n, wl(n), 2);
+  auto res = sched.simulate(arch);
+  double comm = 0;
+  for (const auto& [label, sec] : res.label_seconds)
+    if (label.rfind("A2A", 0) == 0) comm += sec;
+  // Per-device comm busy-time exceeds half the makespan: comm bound.
+  EXPECT_GT(comm / 2 / res.total_seconds, 0.5);
+}
+
+TEST(FmmFftSchedule, ComputeBoundAtLargeN) {
+  // Fig. 2 bottom: the FMM portion is a wall of compute; its own halo and
+  // gather traffic is negligible (the one remaining transpose lives in the
+  // 2D-FFT stage).
+  fmm::Params prm{index_t(1) << 27, 256, 64, 3, 16};
+  auto arch = model::p100_nvlink(2);
+  auto sched = fmmfft_schedule(prm, wl(prm.n), 2);
+  auto res = sched.simulate(arch);
+  double fmm_comm = 0;
+  for (const auto& [label, sec] : res.label_seconds)
+    if (label.rfind("COMM-", 0) == 0) fmm_comm += sec;
+  EXPECT_GT(res.kernel_busy, 50.0 * fmm_comm);
+  // And the total comm (incl. the single transpose) stays well under the
+  // compute wall, unlike the baseline profile.
+  EXPECT_GT(res.kernel_busy, 2.0 * res.comm_busy);
+}
+
+TEST(Simulated, FmmFftBeatsBaselineAtLargeN8xP100) {
+  const index_t n = index_t(1) << 27;
+  auto arch = model::p100_nvlink(8);
+  auto w = wl(n);
+  auto prm = model::search_best_params(n, 8, w, arch, 16);
+  double t_fmm = fmmfft_schedule(prm, w, 8).simulate(arch).total_seconds;
+  double t_base = baseline1d_schedule(n, w, 8).simulate(arch).total_seconds;
+  const double speedup = t_base / t_fmm;
+  EXPECT_GT(speedup, 1.4) << "expected ~2x on 8xP100 (paper: 2.04-2.14)";
+  EXPECT_LT(speedup, 3.0);
+}
+
+TEST(Simulated, SpeedupGrowsWithDeviceCount) {
+  const index_t n = index_t(1) << 26;
+  auto w = wl(n);
+  double s2, s8;
+  {
+    auto arch = model::p100_nvlink(2);
+    auto prm = model::search_best_params(n, 2, w, arch, 16);
+    s2 = baseline1d_schedule(n, w, 2).simulate(arch).total_seconds /
+         fmmfft_schedule(prm, w, 2).simulate(arch).total_seconds;
+  }
+  {
+    auto arch = model::p100_nvlink(8);
+    auto prm = model::search_best_params(n, 8, w, arch, 16);
+    s8 = baseline1d_schedule(n, w, 8).simulate(arch).total_seconds /
+         fmmfft_schedule(prm, w, 8).simulate(arch).total_seconds;
+  }
+  EXPECT_GT(s8, s2);
+}
+
+TEST(Simulated, K40GainsAreMarginal) {
+  // §6.1: "On 2xK40c, the FMM-FFT is only marginally faster" at large N.
+  const index_t n = index_t(1) << 26;
+  auto arch = model::k40c_pcie(2);
+  auto w = wl(n);
+  auto prm = model::search_best_params(n, 2, w, arch, 16);
+  const double speedup = baseline1d_schedule(n, w, 2).simulate(arch).total_seconds /
+                         fmmfft_schedule(prm, w, 2).simulate(arch).total_seconds;
+  EXPECT_GT(speedup, 0.8);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(Simulated, Dist2dFasterThan1dBaseline) {
+  // §6.1: distributed 2D FFTs approach 3x the 1D FFT by avoiding two of
+  // the three transposes.
+  const index_t n = index_t(1) << 26;
+  auto arch = model::p100_nvlink(8);
+  auto w = wl(n);
+  const index_t m = index_t(1) << 13;
+  double t2d = dist2dfft_schedule(m, n / m, w, 8).simulate(arch).total_seconds;
+  double t1d = baseline1d_schedule(n, w, 8).simulate(arch).total_seconds;
+  EXPECT_GT(t1d / t2d, 2.0);
+  EXPECT_LT(t1d / t2d, 3.5);
+}
+
+TEST(FmmFftSchedule, UnfusedPostCostsMore) {
+  fmm::Params prm{1 << 20, 256, 16, 3, 16};
+  auto arch = model::p100_nvlink(2);
+  auto w = wl(prm.n);
+  double fused = fmmfft_schedule(prm, w, 2, true).simulate(arch).total_seconds;
+  double unfused = fmmfft_schedule(prm, w, 2, false).simulate(arch).total_seconds;
+  EXPECT_GT(unfused, fused);
+}
+
+TEST(FmmFftSchedule, CausalityAndCoverage) {
+  fmm::Params prm{1 << 16, 64, 8, 3, 12};
+  auto sched = fmmfft_schedule(prm, wl(prm.n), 4);
+  auto res = sched.simulate(model::p100_nvlink(4));
+  for (const auto& op : sched.ops())
+    for (int d : op.deps)
+      EXPECT_GE(res.timings[(std::size_t)op.id].start, res.timings[(std::size_t)d].end);
+  // All four devices appear.
+  bool dev[4] = {};
+  for (const auto& op : sched.ops())
+    if (op.kind == sim::Op::Kind::Kernel) dev[op.device] = true;
+  EXPECT_TRUE(dev[0] && dev[1] && dev[2] && dev[3]);
+}
+
+TEST(FmmFftSchedule, SmallNFewerLaunchesWithLEqualsB) {
+  // §6.2: at small N the fastest config keeps L == B, minimizing launches.
+  fmm::Params deep{1 << 14, 64, 4, 2, 16};   // L=6, B=2
+  fmm::Params shallow{1 << 14, 64, 4, 6, 16};  // L=6=B
+  auto s_deep = fmmfft_schedule(deep, wl(1 << 14), 2);
+  auto s_shallow = fmmfft_schedule(shallow, wl(1 << 14), 2);
+  EXPECT_LT(s_shallow.kernel_launches(), s_deep.kernel_launches());
+}
+
+}  // namespace
+}  // namespace fmmfft::dist

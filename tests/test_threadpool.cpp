@@ -1,0 +1,121 @@
+// Tests for the thread pool and parallel_for, including multi-threaded
+// consistency of the parallelized BLAS/FMM paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "fmm/engine.hpp"
+
+namespace fmmfft {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  std::function<void(index_t)> fn = [&](index_t i) { hits[(std::size_t)i]++; };
+  pool.run_chunks(64, fn);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<index_t> sum{0};
+    std::function<void(index_t)> fn = [&](index_t i) { sum += i; };
+    pool.run_chunks(100, fn);
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  index_t sum = 0;  // no atomics needed: inline execution
+  std::function<void(index_t)> fn = [&](index_t i) { sum += i; };
+  pool.run_chunks(10, fn);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ZeroChunksIsNoOp) {
+  ThreadPool pool(2);
+  std::function<void(index_t)> fn = [&](index_t) { FAIL(); };
+  pool.run_chunks(0, fn);
+}
+
+TEST(ParallelFor, CoversRangeWithoutOverlap) {
+  const index_t n = 100000;
+  std::vector<std::atomic<unsigned char>> mark(static_cast<std::size_t>(n));
+  parallel_for(n, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) mark[(std::size_t)i]++;
+  });
+  for (auto& m : mark) EXPECT_EQ(m.load(), 1);
+}
+
+TEST(ParallelFor, GrainLimitsSplitting) {
+  // With grain >= n the body must run exactly once over the whole range.
+  std::atomic<int> calls{0};
+  parallel_for(
+      1000,
+      [&](index_t b, index_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 1000);
+      },
+      /*grain=*/100000);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  parallel_for(0, [&](index_t, index_t) { FAIL(); });
+}
+
+TEST(ParallelBlas, BatchedGemmMatchesSerialLoop) {
+  // The pool-sharded batched GEMM must be bit-identical to per-batch GEMMs
+  // (each batch is computed by exactly one worker with its own workspace).
+  const index_t m = 24, n = 16, k = 12, batch = 33;
+  std::vector<double> a(m * k * batch), b(k * n * batch), c0(m * n * batch, 0),
+      c1(m * n * batch, 0);
+  fill_uniform(a.data(), (index_t)a.size(), 1);
+  fill_uniform(b.data(), (index_t)b.size(), 2);
+  blas::gemm_strided_batched<double>(blas::Op::N, blas::Op::N, m, n, k, 1.0, a.data(), m, m * k,
+                                     b.data(), k, k * n, 0.0, c0.data(), m, m * n, batch);
+  for (index_t g = 0; g < batch; ++g)
+    blas::gemm<double>(blas::Op::N, blas::Op::N, m, n, k, 1.0, a.data() + g * m * k, m,
+                       b.data() + g * k * n, k, 0.0, c1.data() + g * m * n, m);
+  EXPECT_EQ(c0, c1);
+}
+
+TEST(ParallelEngine, RepeatedRunsAreBitIdentical) {
+  // Box-sharded custom kernels must be deterministic run to run.
+  fmm::Params prm{1 << 12, 32, 8, 2, 10};
+  std::vector<std::complex<double>> x(static_cast<std::size_t>(prm.n));
+  fill_uniform(x.data(), prm.n, 5);
+  std::vector<double> first;
+  for (int round = 0; round < 3; ++round) {
+    fmm::Engine<double> eng(prm, 2);
+    std::memcpy(eng.source_box(0), x.data(), sizeof(x[0]) * x.size());
+    eng.run_single_node();
+    std::vector<double> t(eng.target_box(0), eng.target_box(0) + 2 * prm.n);
+    if (round == 0)
+      first = t;
+    else
+      EXPECT_EQ(t, first) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::default_workers(), 1);
+  EXPECT_GE(ThreadPool::global().workers(), 1);
+}
+
+}  // namespace
+}  // namespace fmmfft
