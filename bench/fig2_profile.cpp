@@ -12,6 +12,7 @@
 // numerics) cross-checks the census and records measured stage times.
 #include <complex>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 
@@ -92,17 +93,19 @@ int main() {
   std::printf("FMM halo/gather comm: %.3f ms total (hidden under compute)\n",
               busy(fres, "COMM-") * 1e3);
 
-  std::ofstream("fig2_fmmfft_trace.json") << [&] {
-    std::ostringstream os;
+  // Traces go under artifacts/, not the repo root.
+  std::filesystem::create_directories("artifacts");
+  {
+    std::ofstream os("artifacts/fig2_fmmfft_trace.json");
     fsched.write_chrome_trace(fres, os);
-    return os.str();
-  }();
-  std::ofstream("fig2_baseline_trace.json") << [&] {
-    std::ostringstream os;
+  }
+  {
+    std::ofstream os("artifacts/fig2_baseline_trace.json");
     bsched.write_chrome_trace(bres, os);
-    return os.str();
-  }();
-  std::printf("\nChrome traces written: fig2_fmmfft_trace.json, fig2_baseline_trace.json\n");
+  }
+  std::printf(
+      "\nChrome traces written: artifacts/fig2_fmmfft_trace.json, "
+      "artifacts/fig2_baseline_trace.json\n");
 
   // Native-scale cross-check with real numerics.
   {

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "fmm/engine.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -81,6 +82,51 @@ void BM_FmmStage(benchmark::State& state) {
       benchmark::Counter(flops * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FmmStage);
+
+// Observability hook overhead. The disabled path must be one relaxed load
+// and a branch per hook; the enabled path shows what turning it on costs.
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::disable();
+  for (auto _ : state) {
+    FMMFFT_SPAN("bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::enable_tracing(true);
+  obs::Recorder::global().clear();
+  for (auto _ : state) {
+    FMMFFT_SPAN("bench");
+    benchmark::ClobberMemory();
+    if (state.iterations() % (obs::Recorder::kLaneCapacity / 2) == 0)
+      obs::Recorder::global().clear();  // keep the ring from saturating
+  }
+  obs::disable();
+  obs::Recorder::global().clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CountDisabled(benchmark::State& state) {
+  obs::disable();
+  for (auto _ : state) {
+    FMMFFT_COUNT("bench.count", 1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CountDisabled);
+
+void BM_CountEnabled(benchmark::State& state) {
+  obs::enable_metrics(true);
+  for (auto _ : state) {
+    FMMFFT_COUNT("bench.count", 1);
+    benchmark::ClobberMemory();
+  }
+  obs::disable();
+  obs::Metrics::global().reset();
+}
+BENCHMARK(BM_CountEnabled);
 
 }  // namespace
 

@@ -23,6 +23,8 @@
 #include "dist/schedules.hpp"
 #include "fmm/accuracy.hpp"
 #include "model/counts.hpp"
+#include "obs/compare.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -115,6 +117,15 @@ int run(const Options& o) {
     std::printf("setup %.1f ms, execute %.1f ms (FMM %.1f ms in %lld launches, 2D FFT %.1f ms)\n",
                 setup * 1e3, t.seconds() * 1e3, plan.profile().fmm_seconds() * 1e3,
                 (long long)plan.profile().kernel_launches(), plan.profile().fft_seconds * 1e3);
+  }
+
+  // Model-vs-measured check must run now: the exact-FFT verification below
+  // would add its own fft.flops to the counters.
+  if (obs::metrics_enabled()) {
+    const auto report =
+        obs::compare_with_model(prm, is_complex_v<InT> ? 2 : 1, o.devices, sizeof(Real));
+    std::printf("\nmodel vs measured (FMMFFT_METRICS):\n%s", report.to_string().c_str());
+    std::printf("model check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
   }
 
   // Verify against the exact transform in double precision.

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/threadpool.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::blas {
 namespace {
@@ -146,6 +147,10 @@ void gemm_impl(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, c
 template <typename T>
 void gemm(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const T* a,
           index_t lda, const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  FMMFFT_SPAN("GEMM");
+  FMMFFT_COUNT("blas.gemm_calls", 1);
+  FMMFFT_COUNT("blas.launches", 1);
+  FMMFFT_COUNT("blas.flops", gemm_flops(m, n, k));
   gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -155,6 +160,10 @@ void gemm_strided_batched(Op transa, Op transb, index_t m, index_t n, index_t k,
                           index_t stride_b, T beta, T* c, index_t ldc, index_t stride_c,
                           index_t batch_count) {
   FMMFFT_CHECK(batch_count >= 0);
+  FMMFFT_SPAN("BatchedGEMM");
+  FMMFFT_COUNT("blas.gemm_calls", batch_count);
+  FMMFFT_COUNT("blas.launches", 1);
+  FMMFFT_COUNT("blas.flops", double(batch_count) * gemm_flops(m, n, k));
   // Problem instances are independent; share them across the pool (each
   // worker has its own thread-local pack workspace).
   parallel_for(
@@ -170,6 +179,10 @@ void gemm_strided_batched(Op transa, Op transb, index_t m, index_t n, index_t k,
 template <typename T>
 void gemv(Op trans, index_t m, index_t n, T alpha, const T* a, index_t lda, const T* x,
           index_t incx, T beta, T* y, index_t incy) {
+  FMMFFT_SPAN("GEMV");
+  FMMFFT_COUNT("blas.gemv_calls", 1);
+  FMMFFT_COUNT("blas.launches", 1);
+  FMMFFT_COUNT("blas.flops", 2.0 * double(m) * double(n));
   // op(A) is m×n. Row/column traversal is picked so A is streamed in order.
   if (trans == Op::N) {
     // BLAS semantics: beta == 0 means y is write-only (never read).

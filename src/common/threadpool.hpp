@@ -18,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft {
 
@@ -128,7 +129,11 @@ void parallel_for(index_t n, const Body& body, index_t grain = 1024) {
     return;
   }
   const index_t step = (n + chunks - 1) / chunks;
+  FMMFFT_SPAN("parallel_for");
+  FMMFFT_COUNT("pool.parallel_for", 1);
+  FMMFFT_COUNT("pool.chunks", chunks);
   std::function<void(index_t)> fn = [&](index_t c) {
+    FMMFFT_SPAN("pf-chunk");  // worker-lane activity in the trace
     const index_t b = c * step;
     const index_t e = std::min(n, b + step);
     if (b < e) body(b, e);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 
 namespace fmmfft {
 
@@ -22,8 +23,11 @@ class WallTimer {
 
 /// Run `fn` repeatedly until at least `min_seconds` elapse (and at least
 /// `min_reps` times), returning the best per-rep seconds. Benchmark helper.
+/// `max_reps` bounds the loop for very fast bodies; if it fires before
+/// `min_seconds` accumulate, a warning goes to stderr so the truncation is
+/// visible instead of silently shortening the measurement.
 template <typename F>
-double time_best(F&& fn, int min_reps = 3, double min_seconds = 0.05) {
+double time_best(F&& fn, int min_reps = 3, double min_seconds = 0.05, int max_reps = 1000) {
   double best = 1e300;
   int reps = 0;
   WallTimer total;
@@ -32,7 +36,14 @@ double time_best(F&& fn, int min_reps = 3, double min_seconds = 0.05) {
     fn();
     best = std::min(best, t.seconds());
     ++reps;
-    if (reps > 1000) break;
+    if (reps >= max_reps) {
+      if (total.seconds() < min_seconds)
+        std::fprintf(stderr,
+                     "time_best: hit max_reps=%d after %.3fs (< min_seconds=%.3fs); "
+                     "result may be noisy\n",
+                     max_reps, total.seconds(), min_seconds);
+      break;
+    }
   }
   return best;
 }

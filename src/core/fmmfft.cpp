@@ -7,6 +7,7 @@
 #include "common/permute.hpp"
 #include "common/timer.hpp"
 #include "fmm/operators.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::core {
 
@@ -73,22 +74,28 @@ struct FmmFft<InT>::Impl {
     // load-callback fusion. The unfused ablation stages through `scratch`
     // and pays one extra round trip of T-sized data.
     WallTimer post_t;
-    const Real* t = engine.target_box(0);
-    const Real* r = engine.reduction();
-    Out* stage = fuse_post ? output : scratch.data();
     const index_t mtot = prm.m();
-    for (index_t mg = 0; mg < mtot; ++mg)
-      for (index_t p = 0; p < prm.p; ++p) stage[p + prm.p * mg] = post_value(t, r, p, mg);
-    if (!fuse_post) std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    {
+      FMMFFT_SPAN("POST");
+      const Real* t = engine.target_box(0);
+      const Real* r = engine.reduction();
+      Out* stage = fuse_post ? output : scratch.data();
+      for (index_t mg = 0; mg < mtot; ++mg)
+        for (index_t p = 0; p < prm.p; ++p) stage[p + prm.p * mg] = post_value(t, r, p, mg);
+      if (!fuse_post) std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    }
     prof.post_seconds = post_t.seconds();
 
     // 2D FFT F_{M,P}: M size-P FFTs on contiguous blocks, the Π_{M,P}
     // all-to-all permutation, then P size-M FFTs. Output is in order.
     WallTimer fft_t;
-    plan_p.execute_batched(output, mtot, fft::Direction::Forward);
-    permute_mp(output, scratch.data(), mtot, prm.p);
-    plan_m.execute_batched(scratch.data(), prm.p, fft::Direction::Forward);
-    std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    {
+      FMMFFT_SPAN("FFT-2D");
+      plan_p.execute_batched(output, mtot, fft::Direction::Forward);
+      permute_mp(output, scratch.data(), mtot, prm.p);
+      plan_m.execute_batched(scratch.data(), prm.p, fft::Direction::Forward);
+      std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
+    }
     prof.fft_seconds = fft_t.seconds();
 
     prof.total_seconds = total.seconds();

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "dist/collectives.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::dist {
 namespace {
@@ -58,14 +59,25 @@ void DistFft1d<T>::execute(const std::complex<T>* in, std::complex<T>* out) {
   // (1) Transpose P-major -> M-major (all-to-all #1).
   all_to_all_permute_mp(fabric_, a, b, m_, p_, "A2A-1");
   // (2) P local FFTs of size M (P/G per device, contiguous blocks).
-  for (int r = 0; r < g_; ++r) plan_m_.execute_batched(b[(std::size_t)r], p_ / g_, fft::Direction::Forward);
+  {
+    FMMFFT_SPAN("DFFT-M");
+    for (int r = 0; r < g_; ++r)
+      plan_m_.execute_batched(b[(std::size_t)r], p_ / g_, fft::Direction::Forward);
+  }
   // (3) Twiddle scale.
-  for (int r = 0; r < g_; ++r)
-    for (index_t i = 0; i < slab; ++i) b[(std::size_t)r][i] *= twiddle_[r * slab + i];
+  {
+    FMMFFT_SPAN("DFFT-TW");
+    for (int r = 0; r < g_; ++r)
+      for (index_t i = 0; i < slab; ++i) b[(std::size_t)r][i] *= twiddle_[r * slab + i];
+  }
   // (4) Transpose M-major -> P-major (all-to-all #2).
   all_to_all_permute_mp(fabric_, b, a, p_, m_, "A2A-2");
   // (5) M local FFTs of size P.
-  for (int r = 0; r < g_; ++r) plan_p_.execute_batched(a[(std::size_t)r], m_ / g_, fft::Direction::Forward);
+  {
+    FMMFFT_SPAN("DFFT-P");
+    for (int r = 0; r < g_; ++r)
+      plan_p_.execute_batched(a[(std::size_t)r], m_ / g_, fft::Direction::Forward);
+  }
   // (6) Transpose P-major -> M-major (all-to-all #3): in-order output.
   all_to_all_permute_mp(fabric_, a, b, m_, p_, "A2A-3");
 
@@ -85,14 +97,20 @@ void Dist2dFft<T>::execute_slabs(const std::vector<std::complex<T>*>& slabs,
   using Cx = std::complex<T>;
   const index_t slab = m_ * p_ / g_;
   // (a) M local FFTs of size P on the p-major data (M/G per device).
-  for (int r = 0; r < g_; ++r)
-    plan_p_.execute_batched(slabs[(std::size_t)r], m_ / g_, fft::Direction::Forward);
+  {
+    FMMFFT_SPAN("2DFFT-P");
+    for (int r = 0; r < g_; ++r)
+      plan_p_.execute_batched(slabs[(std::size_t)r], m_ / g_, fft::Direction::Forward);
+  }
   // (b) Π_{M,P} all-to-all — the FMM-FFT's single transpose.
   auto sc = ptrs(scratch_);
   all_to_all_permute_mp(fabric, slabs, sc, m_, p_, "A2A-2D");
   // (c) P local FFTs of size M (P/G per device).
-  for (int r = 0; r < g_; ++r)
-    plan_m_.execute_batched(sc[(std::size_t)r], p_ / g_, fft::Direction::Forward);
+  {
+    FMMFFT_SPAN("2DFFT-M");
+    for (int r = 0; r < g_; ++r)
+      plan_m_.execute_batched(sc[(std::size_t)r], p_ / g_, fft::Direction::Forward);
+  }
   for (int r = 0; r < g_; ++r) std::memcpy(slabs[(std::size_t)r], sc[(std::size_t)r], sizeof(Cx) * slab);
 }
 

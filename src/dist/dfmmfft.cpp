@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "dist/collectives.hpp"
 #include "fmm/operators.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::dist {
 
@@ -91,55 +92,65 @@ void DistFmmFft<InT>::execute(const InT* in, Out* out) {
   // Algorithm 1. Stage loops run over all devices (they execute these in
   // parallel on real hardware; the schedule/timeline model accounts for
   // that — numerics here are order-independent).
-  for (auto& e : engines_) e->s2m();
-  exchange_source_halos();
-  for (auto& e : engines_) e->s2t();
-  for (int lev = l - 1; lev >= b; --lev)
-    for (auto& e : engines_) e->m2m(lev);
-  for (int lev = l; lev > b; --lev) {
-    exchange_multipole_halos(lev);
-    for (auto& e : engines_) e->m2l_level(lev);
+  {
+    FMMFFT_SPAN("FMM");
+    for (auto& e : engines_) e->s2m();
+    exchange_source_halos();
+    for (auto& e : engines_) e->s2t();
+    for (int lev = l - 1; lev >= b; --lev)
+      for (auto& e : engines_) e->m2m(lev);
+    for (int lev = l; lev > b; --lev) {
+      exchange_multipole_halos(lev);
+      for (auto& e : engines_) e->m2l_level(lev);
+    }
+    allgather_base();
+    for (auto& e : engines_) e->m2l_base();
+    for (auto& e : engines_) e->reduce();
+    for (int lev = b; lev < l; ++lev)
+      for (auto& e : engines_) e->l2l(lev);
+    for (auto& e : engines_) e->l2t();
   }
-  allgather_base();
-  for (auto& e : engines_) e->m2l_base();
-  for (auto& e : engines_) e->reduce();
-  for (int lev = b; lev < l; ++lev)
-    for (auto& e : engines_) e->l2l(lev);
-  for (auto& e : engines_) e->l2t();
 
   // POST fused with the 2D-FFT load (§4.9 line 15): slab element
   // n = p + P·mg with mg in rank r's range.
   const index_t p_total = prm_.p;
-  for (int r = 0; r < g_; ++r) {
-    const Real* t = engines_[(std::size_t)r]->target_box(0);
-    const Real* rr = engines_[(std::size_t)r]->reduction();
-    Out* s = slabs_[(std::size_t)r].data();
-    const index_t m_loc = slab_n / p_total;
-    for (index_t mg = 0; mg < m_loc; ++mg)
-      for (index_t p = 0; p < p_total; ++p) {
-        const index_t i = p + p_total * mg;
-        Out tv;
-        if (c_ == 2)
-          tv = Out(t[2 * i], t[2 * i + 1]);
-        else
-          tv = Out(t[i], 0);
-        if (p == 0) {
-          s[i] = tv;
-        } else {
-          const Out rp = c_ == 2 ? Out(rr[2 * (p - 1)], rr[2 * (p - 1) + 1])
-                                 : Out(0, rr[p - 1]);
-          // For c == 1 rp already carries the i·r_p rotation.
-          s[i] = rho_[(std::size_t)p] * (c_ == 2 ? tv + Out(0, 1) * rp : tv + rp);
+  {
+    FMMFFT_SPAN("POST");
+    for (int r = 0; r < g_; ++r) {
+      const Real* t = engines_[(std::size_t)r]->target_box(0);
+      const Real* rr = engines_[(std::size_t)r]->reduction();
+      Out* s = slabs_[(std::size_t)r].data();
+      const index_t m_loc = slab_n / p_total;
+      for (index_t mg = 0; mg < m_loc; ++mg)
+        for (index_t p = 0; p < p_total; ++p) {
+          const index_t i = p + p_total * mg;
+          Out tv;
+          if (c_ == 2)
+            tv = Out(t[2 * i], t[2 * i + 1]);
+          else
+            tv = Out(t[i], 0);
+          if (p == 0) {
+            s[i] = tv;
+          } else {
+            const Out rp = c_ == 2 ? Out(rr[2 * (p - 1)], rr[2 * (p - 1) + 1])
+                                   : Out(0, rr[p - 1]);
+            // For c == 1 rp already carries the i·r_p rotation.
+            s[i] = rho_[(std::size_t)p] * (c_ == 2 ? tv + Out(0, 1) * rp : tv + rp);
+          }
         }
-      }
+    }
   }
 
   // Distributed 2D FFT (one all-to-all), output in order.
-  std::vector<Out*> sp;
-  for (auto& s : slabs_) sp.push_back(s.data());
-  fft2d_.execute_slabs(sp, fabric_);
-  for (int r = 0; r < g_; ++r)
-    std::memcpy(out + r * slab_n, sp[(std::size_t)r], sizeof(Out) * static_cast<std::size_t>(slab_n));
+  {
+    FMMFFT_SPAN("FFT-2D");
+    std::vector<Out*> sp;
+    for (auto& s : slabs_) sp.push_back(s.data());
+    fft2d_.execute_slabs(sp, fabric_);
+    for (int r = 0; r < g_; ++r)
+      std::memcpy(out + r * slab_n, sp[(std::size_t)r],
+                  sizeof(Out) * static_cast<std::size_t>(slab_n));
+  }
 }
 
 template class DistFmmFft<float>;

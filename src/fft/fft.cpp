@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/permute.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::fft {
 namespace {
@@ -180,19 +181,39 @@ index_t Plan1D<T>::size() const {
   return impl_->n;
 }
 
+namespace {
+
+/// One hook for all plan entry points. The flop counter records the model
+/// count 5·n·log2(n) per transform (what the §5 analysis uses), not the
+/// larger operation count of the Bluestein fallback for non-pow2 sizes.
+inline void count_transforms(index_t n, index_t count) {
+  FMMFFT_COUNT("fft.transforms", count);
+  FMMFFT_COUNT("fft.launches", 1);
+  FMMFFT_COUNT("fft.points", double(n) * double(count));
+  FMMFFT_COUNT("fft.flops", fft_flops(n) * double(count));
+}
+
+}  // namespace
+
 template <typename T>
 void Plan1D<T>::execute(Cx<T>* data, Direction dir) const {
+  FMMFFT_SPAN("FFT");
+  count_transforms(impl_->n, 1);
   impl_->run_one(data, dir);
 }
 
 template <typename T>
 void Plan1D<T>::execute_batched(Cx<T>* data, index_t count, Direction dir) const {
+  FMMFFT_SPAN("FFT-batched");
+  count_transforms(impl_->n, count);
   for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * impl_->n, dir);
 }
 
 template <typename T>
 void Plan1D<T>::execute_strided(Cx<T>* data, index_t count, index_t stride, index_t dist,
                                 Direction dir) const {
+  FMMFFT_SPAN("FFT-strided");
+  count_transforms(impl_->n, count);
   const index_t n = impl_->n;
   if (stride == 1) {
     for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * dist, dir);

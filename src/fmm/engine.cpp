@@ -9,6 +9,7 @@
 #include "common/threadpool.hpp"
 #include "common/timer.hpp"
 #include "fmm/operators.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::fmm {
 namespace {
@@ -18,6 +19,21 @@ Buffer<T> cast_buffer(const std::vector<double>& src) {
   Buffer<T> dst(static_cast<index_t>(src.size()));
   for (index_t i = 0; i < dst.size(); ++i) dst[i] = static_cast<T>(src[(std::size_t)i]);
   return dst;
+}
+
+/// Feed one executed stage's exact counts into the metrics registry.
+/// Halo-fill copies are tracked separately so fmm.flops / fmm.mem_bytes /
+/// fmm.launches stay launch-for-launch comparable with
+/// model::exact_fmm_counts (which has no Copy entries).
+void count_stage(const StageStats& st) {
+  if (!obs::metrics_enabled()) return;
+  if (st.kernel == KernelClass::Copy) {
+    FMMFFT_COUNT("fmm.halo_bytes", st.mem_bytes);
+    return;
+  }
+  FMMFFT_COUNT("fmm.flops", st.flops);
+  FMMFFT_COUNT("fmm.mem_bytes", st.mem_bytes);
+  FMMFFT_COUNT("fmm.launches", st.launches);
 }
 
 }  // namespace
@@ -108,6 +124,7 @@ void Engine<T>::zero() {
 
 template <typename T>
 void Engine<T>::s2m() {
+  FMMFFT_SPAN("S2M");
   WallTimer stage_timer_;
   // M^L_{(p-1)qb} = S2M_qm S_pmb, skipping the p=0 slice (row offset c_).
   const index_t q = prm_.q, ml = prm_.ml;
@@ -124,10 +141,12 @@ void Engine<T>::s2m() {
                                          double(cpm_ * q * nb_leaf_) + double(q * ml)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::m2m(int level) {
+  FMMFFT_SPAN("M2M");
   WallTimer stage_timer_;
   FMMFFT_CHECK(level >= prm_.b && level < prm_.l());
   const index_t q = prm_.q, nbl = local_boxes(level);
@@ -141,10 +160,12 @@ void Engine<T>::m2m(int level) {
                                          double(cpm_ * q * nbl) + double(2 * q * q)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::s2t() {
+  FMMFFT_SPAN("S2T");
   WallTimer stage_timer_;
   // T_pib += S2T_{p(j-i)} S_pjb over the three-box neighbourhood; the p=0
   // table slice is the identity, performing the C_0 = I copy in the same
@@ -181,6 +202,7 @@ void Engine<T>::s2t() {
                                          2.0 * double(cp_ * ml * nb_leaf_)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
@@ -229,6 +251,7 @@ void Engine<T>::apply_m2l(int level, index_t s, const T* tab, bool base) {
 
 template <typename T>
 void Engine<T>::m2l_level(int level) {
+  FMMFFT_SPAN("M2L");
   WallTimer stage_timer_;
   FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
   const index_t q = prm_.q, nbl = local_boxes(level);
@@ -242,10 +265,12 @@ void Engine<T>::m2l_level(int level) {
                                          double(cpm_ * q * (nbl + 4))),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::m2l_base() {
+  FMMFFT_SPAN("M2L-B");
   WallTimer stage_timer_;
   const index_t q = prm_.q, nbl = local_boxes(prm_.b);
   const index_t nb_global = prm_.boxes(prm_.b);
@@ -259,10 +284,12 @@ void Engine<T>::m2l_base() {
                                          double(cpm_ * q * nb_global)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::reduce() {
+  FMMFFT_SPAN("REDUCE");
   WallTimer stage_timer_;
   // r_{p-1} = sum_{q,b} M^B_{(p-1)qb}: the S2M/M2M columns sum to one, so
   // base-level multipoles preserve the source sums (§4.8). One GEMV on the
@@ -273,10 +300,12 @@ void Engine<T>::reduce() {
   stats_.push_back({"REDUCE", KernelClass::Gemv, 2.0 * double(cpm_) * double(cols),
                     double(sizeof(T)) * (double(cpm_ * cols) + double(cpm_)), 1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::l2l(int level) {
+  FMMFFT_SPAN("L2L");
   WallTimer stage_timer_;
   FMMFFT_CHECK(level >= prm_.b && level < prm_.l());
   const index_t q = prm_.q, nbl = local_boxes(level);
@@ -289,10 +318,12 @@ void Engine<T>::l2l(int level) {
                                          2.0 * double(2 * cpm_ * q * nbl)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::l2t() {
+  FMMFFT_SPAN("L2T");
   WallTimer stage_timer_;
   const index_t q = prm_.q, ml = prm_.ml;
   blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, cpm_, ml, q, T(1),
@@ -304,20 +335,24 @@ void Engine<T>::l2t() {
                                          2.0 * double(cpm_ * ml * nb_leaf_)),
                     1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::fill_source_halo_cyclic() {
+  FMMFFT_SPAN("HALO-S");
   WallTimer stage_timer_;
   const index_t be = source_box_elems();
   std::memcpy(source_box(-1), source_box(nb_leaf_ - 1), sizeof(T) * be);
   std::memcpy(source_box(nb_leaf_), source_box(0), sizeof(T) * be);
   stats_.push_back({"COMM-S", KernelClass::Copy, 0.0, double(sizeof(T)) * 2 * be, 1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>
 void Engine<T>::fill_multipole_halo_cyclic(int level) {
+  FMMFFT_SPAN("HALO-M");
   WallTimer stage_timer_;
   FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
   const index_t nbl = local_boxes(level), ee = expansion_box_elems();
@@ -326,6 +361,7 @@ void Engine<T>::fill_multipole_halo_cyclic(int level) {
   stats_.push_back({"COMM-M" + std::to_string(level), KernelClass::Copy, 0.0,
                     double(sizeof(T)) * 4 * ee, 1});
   stats_.back().seconds = stage_timer_.seconds();
+  count_stage(stats_.back());
 }
 
 template <typename T>

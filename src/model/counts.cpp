@@ -96,6 +96,17 @@ CommCount paper_fmm_comm(const fmm::Params& prm, int c, index_t g) {
   return cc;
 }
 
+CommCount exact_fmm_comm(const fmm::Params& prm, int c, index_t g) {
+  CommCount cc;
+  if (g <= 1) return cc;
+  const double q = prm.q, ml = prm.ml;
+  const double cp = double(c) * double(prm.p), cpm = double(c) * double(prm.p - 1);
+  cc.s_halo = 2.0 * cp * ml;
+  cc.m_halo = 4.0 * double(prm.l() - prm.b) * cpm * q;
+  cc.m_base = double(prm.boxes(prm.b)) * cpm * q * double(g - 1) / double(g);
+  return cc;
+}
+
 // ---------------------------------------------------------------------------
 
 namespace {

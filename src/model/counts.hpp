@@ -53,6 +53,14 @@ struct CommCount {
 };
 CommCount paper_fmm_comm(const fmm::Params& prm, int c, index_t g);
 
+/// Exact per-device scalars sent over the fabric by the distributed
+/// driver's collectives (dist::DistFmmFft), matching sim::Fabric's ledger
+/// byte for byte. Differs from the §5.2 closed forms in two documented
+/// ways: the source halo ships all C·P rows (including the p = 0 identity
+/// slice the paper excludes), and the base allgather sends only to the
+/// G - 1 remote peers (the local slab moves without traffic).
+CommCount exact_fmm_comm(const fmm::Params& prm, int c, index_t g);
+
 // ---------------------------------------------------------------------------
 // Model wall times (Eq. 3 plus launch and link costs).
 

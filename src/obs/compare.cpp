@@ -1,0 +1,113 @@
+#include "obs/compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "model/counts.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace fmmfft::obs {
+
+double ModelCheck::rel_dev() const {
+  return std::fabs(measured - predicted) / std::max(std::fabs(predicted), 1.0);
+}
+
+bool ModelReport::all_ok() const {
+  for (const auto& c : checks)
+    if (!c.ok()) return false;
+  return true;
+}
+
+std::string ModelReport::to_string() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %16s %16s %10s %9s  %s\n", "counter", "measured",
+                "predicted", "rel dev", "tol", "ok");
+  os << line;
+  for (const auto& c : checks) {
+    std::snprintf(line, sizeof line, "%-24s %16.6e %16.6e %10.2e %9.1e  %s\n", c.name.c_str(),
+                  c.measured, c.predicted, c.rel_dev(), c.tolerance, c.ok() ? "yes" : "NO");
+    os << line;
+  }
+  return os.str();
+}
+
+void ModelReport::write_json(std::ostream& os) const {
+  JsonWriter jw(os);
+  jw.begin_object();
+  jw.key("all_ok");
+  jw.value(all_ok());
+  jw.key("checks");
+  jw.begin_array();
+  for (const auto& c : checks) {
+    jw.begin_object();
+    jw.kv("name", c.name);
+    jw.kv("measured", c.measured);
+    jw.kv("predicted", c.predicted);
+    jw.kv("rel_dev", c.rel_dev());
+    jw.kv("tolerance", c.tolerance);
+    jw.key("ok");
+    jw.value(c.ok());
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+}
+
+ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g,
+                               double real_bytes, int runs) {
+  // Summation-noise tolerance for counts that must agree exactly.
+  constexpr double kExact = 1e-9;
+  const auto& m = Metrics::global();
+  const double r = double(runs), gd = double(g);
+
+  double flops = 0, mem_scalars = 0, launches = 0;
+  for (const auto& st : model::exact_fmm_counts(prm, components, g)) {
+    flops += st.flops;
+    mem_scalars += st.mem_scalars;
+    launches += double(st.launches);
+  }
+
+  ModelReport rep;
+  auto counter = [&](const std::string& name) { return m.counters_with_prefix(name); };
+  rep.checks.push_back(
+      {"fmm.flops", counter("fmm.flops"), r * gd * flops, kExact});
+  rep.checks.push_back(
+      {"fmm.mem_bytes", counter("fmm.mem_bytes"), r * gd * mem_scalars * real_bytes, kExact});
+  rep.checks.push_back(
+      {"fmm.launches", counter("fmm.launches"), r * gd * launches, 0.0});
+
+  // 2D-FFT stage: per device M/G size-P + P/G size-M transforms; summed
+  // over devices (or the G = 1 plan) that is exactly 5·N·log2(N).
+  const double n = double(prm.n);
+  rep.checks.push_back(
+      {"fft.flops", counter("fft.flops"), r * 5.0 * n * std::log2(n), kExact});
+
+  // Fabric traffic, by collective, against the implementation-exact counts.
+  const auto exact = model::exact_fmm_comm(prm, components, g);
+  const double comm_s = counter("fabric.bytes.COMM-S");
+  const double comm_mb = counter("fabric.bytes.COMM-MB");
+  const double comm_ml = counter("fabric.bytes.COMM-M") - comm_mb;
+  const double a2a = counter("fabric.bytes.A2A-2D");
+  rep.checks.push_back({"fabric.COMM-S", comm_s, r * gd * exact.s_halo * real_bytes, kExact});
+  rep.checks.push_back({"fabric.COMM-Ml", comm_ml, r * gd * exact.m_halo * real_bytes, kExact});
+  rep.checks.push_back({"fabric.COMM-MB", comm_mb, r * gd * exact.m_base * real_bytes, kExact});
+  rep.checks.push_back({"fabric.A2A-2D", a2a,
+                        g > 1 ? r * (gd - 1.0) / gd * n * 2.0 * real_bytes : 0.0, kExact});
+
+  // The §5.2 closed forms track the fabric ledger up to two documented
+  // conventions: the source halo ships the p = 0 slice too (factor
+  // P/(P-1)) and the allgather's local slab is free (factor (G-1)/G).
+  const auto paper = model::paper_fmm_comm(prm, components, g);
+  rep.checks.push_back({"paper.s_halo", comm_s, r * gd * paper.s_halo * real_bytes,
+                        1.0 / double(prm.p - 1) + 1e-6});
+  rep.checks.push_back({"paper.m_halo", comm_ml, r * gd * paper.m_halo * real_bytes, kExact});
+  rep.checks.push_back({"paper.m_base", comm_mb, r * gd * paper.m_base * real_bytes,
+                        g > 1 ? 1.0 / gd + 1e-6 : 0.0});
+  return rep;
+}
+
+}  // namespace fmmfft::obs

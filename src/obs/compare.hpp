@@ -1,0 +1,58 @@
+// Model-vs-measured cross-validation: diff the counters accumulated by the
+// obs hooks during real host execution against the §5 predictions in
+// src/model/counts.*. Observability that doubles as a continuous check of
+// the operation-count model the paper's whole argument (and this repo's
+// timing substitution) rests on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fmm/params.hpp"
+
+namespace fmmfft::obs {
+
+/// One measured-vs-predicted comparison.
+struct ModelCheck {
+  std::string name;
+  double measured = 0;
+  double predicted = 0;
+  double tolerance = 0;  ///< max acceptable relative deviation
+
+  /// |measured - predicted| / max(|predicted|, 1): relative where the
+  /// prediction is meaningful, absolute near zero.
+  double rel_dev() const;
+  bool ok() const { return rel_dev() <= tolerance; }
+};
+
+struct ModelReport {
+  std::vector<ModelCheck> checks;
+  bool all_ok() const;
+  /// Fixed-width human-readable table.
+  std::string to_string() const;
+  /// {"all_ok": ..., "checks": [{name, measured, predicted, rel_dev,
+  ///  tolerance, ok}, ...]}
+  void write_json(std::ostream& os) const;
+};
+
+/// Compare Metrics::global() against the model for `runs` executions of an
+/// FMM-FFT with parameters `prm` on `g` devices (`components` = C,
+/// `real_bytes` = sizeof the working real scalar). Call after the runs, on
+/// metrics collected with obs::enable_metrics() on and no other transforms
+/// in between (obs::reset() gives a clean slate).
+///
+/// Checked, each against an exact accounting (tolerance ~1e-9, pure
+/// floating-point summation noise):
+///  * fmm.flops / fmm.mem_bytes / fmm.launches vs model::exact_fmm_counts
+///  * fft.flops vs the 5·N·log2(N) total of the 2D-FFT stage
+///  * fabric COMM-* bytes vs model::exact_fmm_comm
+///  * fabric A2A-2D bytes vs the single-transpose payload
+/// Plus the paper's §5.2 closed form vs the same fabric bytes at the
+/// documented loose tolerance (the p = 0 slice and local-slab conventions
+/// differ; see model::exact_fmm_comm).
+ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g,
+                               double real_bytes, int runs = 1);
+
+}  // namespace fmmfft::obs

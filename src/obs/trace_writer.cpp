@@ -1,0 +1,128 @@
+#include "obs/trace_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace fmmfft::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key":
+  }
+  if (!stack_.empty()) {
+    if (stack_.back()) os_ << ", ";
+    stack_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  os_ << "{";
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  FMMFFT_ASSERT(!stack_.empty() && !pending_key_);
+  stack_.pop_back();
+  os_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  os_ << "[";
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  FMMFFT_ASSERT(!stack_.empty() && !pending_key_);
+  stack_.pop_back();
+  os_ << "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  FMMFFT_ASSERT(!pending_key_);
+  comma();
+  os_ << '"' << json_escape(k) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Shortest round-trip-ish: integers print without exponent noise.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    os_ << buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os_ << buf;
+  }
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  os_ << (v ? "true" : "false");
+}
+
+TraceWriter::TraceWriter(std::ostream& os) : jw_(os) { jw_.begin_array(); }
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) finish();
+}
+
+void TraceWriter::complete_event(std::string_view name, double ts_us, double dur_us, int pid,
+                                 std::string_view tid) {
+  FMMFFT_ASSERT(!finished_);
+  jw_.begin_object();
+  jw_.kv("name", name);
+  jw_.kv("ph", "X");
+  jw_.kv("ts", ts_us);
+  jw_.kv("dur", dur_us);
+  jw_.kv("pid", double(pid));
+  jw_.kv("tid", tid);
+  jw_.end_object();
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  jw_.end_array();
+}
+
+}  // namespace fmmfft::obs

@@ -1,0 +1,68 @@
+// Shared chrome://tracing / Perfetto JSON emission and a minimal streaming
+// JSON writer. Every trace/metrics artifact in the repo goes through these
+// (obs::Recorder, sim::Schedule::write_chrome_trace, the figure benches)
+// instead of hand-formatting JSON ad hoc.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fmmfft::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Streaming writer for well-formed JSON. Containers are explicit
+/// (begin_/end_); commas and key quoting/escaping are handled here. The
+/// caller is responsible for structural balance, which FMMFFT_ASSERTs guard.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Key inside an object; follow with a value or container.
+  void key(std::string_view k);
+  void value(double v);
+  void value(std::string_view v);
+  void value(bool v);
+  /// Shorthand for key(k); value(v).
+  void kv(std::string_view k, double v) {
+    key(k);
+    value(v);
+  }
+  void kv(std::string_view k, std::string_view v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma();
+  std::ostream& os_;
+  /// One entry per open container: whether a value was already emitted.
+  std::vector<bool> stack_;
+  bool pending_key_ = false;
+};
+
+/// chrome://tracing "Trace Event Format" JSON array of complete ("X")
+/// events, loadable by chrome://tracing and Perfetto. Timestamps and
+/// durations are microseconds.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& os);
+  ~TraceWriter();  ///< finishes the array if finish() was not called
+
+  void complete_event(std::string_view name, double ts_us, double dur_us, int pid,
+                      std::string_view tid);
+  void finish();
+
+ private:
+  JsonWriter jw_;
+  bool finished_ = false;
+};
+
+}  // namespace fmmfft::obs

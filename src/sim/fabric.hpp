@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::sim {
 
@@ -32,8 +33,18 @@ class Fabric {
   void send(int src, int dst, const T* s, T* d, index_t count, const std::string& tag) {
     FMMFFT_CHECK(src >= 0 && src < g_ && dst >= 0 && dst < g_);
     if (count == 0) return;
+    FMMFFT_SPAN("xfer:", tag);
     std::memmove(d, s, sizeof(T) * static_cast<std::size_t>(count));
-    if (src != dst) ledger_.push_back({src, dst, double(sizeof(T)) * double(count), tag});
+    if (src != dst) {
+      const double bytes = double(sizeof(T)) * double(count);
+      ledger_.push_back({src, dst, bytes, tag});
+      FMMFFT_COUNT("fabric.sends", 1);
+      FMMFFT_COUNT("fabric.bytes", bytes);
+      // Per-tag byte counters feed obs::compare_with_model; the name is
+      // dynamic, so this bypasses the static-reference macro.
+      if (obs::metrics_enabled())
+        obs::Metrics::global().counter("fabric.bytes." + tag).add(bytes);
+    }
   }
 
   const std::vector<Transfer>& transfers() const { return ledger_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace_writer.hpp"
 
 namespace fmmfft::sim {
 
@@ -142,21 +143,17 @@ SimResult Schedule::simulate(const model::ArchParams& arch) const {
 }
 
 void Schedule::write_chrome_trace(const SimResult& res, std::ostream& os) const {
-  os << "[\n";
-  bool first = true;
+  obs::TraceWriter tw(os);
   for (const auto& op : ops_) {
     if (op.kind == Op::Kind::Meta) continue;
     const auto& t = res.timings[(std::size_t)op.id];
-    if (!first) os << ",\n";
-    first = false;
     const char* track = op.kind == Op::Kind::Comm ? "comm" : "compute";
-    os << "  {\"name\": \"" << op.label << "\", \"ph\": \"X\", \"ts\": " << t.start * 1e6
-       << ", \"dur\": " << (t.end - t.start) * 1e6 << ", \"pid\": " << op.device
-       << ", \"tid\": \"" << track << (op.kind == Op::Kind::Kernel ? std::to_string(op.stream)
-                                                                   : std::to_string(op.peer))
-       << "\"}";
+    tw.complete_event(op.label, t.start * 1e6, (t.end - t.start) * 1e6, op.device,
+                      track + (op.kind == Op::Kind::Kernel ? std::to_string(op.stream)
+                                                           : std::to_string(op.peer)));
   }
-  os << "\n]\n";
+  tw.finish();
+  os << "\n";
 }
 
 }  // namespace fmmfft::sim

@@ -1,0 +1,319 @@
+// Tests for the observability subsystem: span recording and nesting across
+// threads, striped-counter arithmetic under parallel_for, JSON validity of
+// both exporters, the zero-allocation disabled path, and the
+// model-vs-measured cross-check on a real distributed run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <complex>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "dist/dfmmfft.hpp"
+#include "obs/compare.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_writer.hpp"
+
+// Global allocation counter for the disabled-path test. Counting every
+// operator new in the binary is fine; the test only compares deltas.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+// GCC pairs new/delete at call sites and flags free() here even though the
+// replaced operator new above allocates with malloc; the pairing is correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace fmmfft::obs {
+namespace {
+
+/// Minimal recursive-descent JSON validator — enough to prove the exporters
+/// emit syntactically valid JSON without a parsing dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+  bool valid() {
+    i_ = 0;
+    return value() && (skip_ws(), i_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++i_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') return ++i_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++i_, true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') return ++i_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++i_; i_ < s_.size(); ++i_) {
+      if (s_[i_] == '\\') ++i_;
+      else if (s_[i_] == '"') return ++i_, true;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && (std::isdigit((unsigned char)s_[i_]) || s_[i_] == '-' ||
+                              s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E'))
+      ++i_;
+    return i_ > start;
+  }
+  bool literal(const char* lit) {
+    for (; *lit; ++lit, ++i_)
+      if (i_ >= s_.size() || s_[i_] != *lit) return false;
+    return true;
+  }
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace((unsigned char)s_[i_])) ++i_;
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+/// RAII: enable the requested facilities on a clean slate, disable + wipe on
+/// exit so tests don't leak state into each other.
+struct ObsSession {
+  explicit ObsSession(bool trace, bool metrics) {
+    disable();
+    reset();
+    if (trace) enable_tracing(true);
+    if (metrics) enable_metrics(true);
+  }
+  ~ObsSession() {
+    disable();
+    reset();
+  }
+};
+
+TEST(Span, NestingDepthAndContainment) {
+  ObsSession s(true, false);
+  {
+    FMMFFT_SPAN("outer");
+    { FMMFFT_SPAN("inner"); }
+    { FMMFFT_SPAN("prefix:", std::string("tag")); }
+  }
+  auto evs = Recorder::global().snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  // snapshot sorts by (lane, start): outer first.
+  EXPECT_STREQ(evs[0].name, "outer");
+  EXPECT_EQ(evs[0].depth, 0);
+  EXPECT_STREQ(evs[1].name, "inner");
+  EXPECT_EQ(evs[1].depth, 1);
+  EXPECT_STREQ(evs[2].name, "prefix:tag");
+  EXPECT_EQ(evs[2].depth, 1);
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_GE(evs[i].start_ns, evs[0].start_ns);
+    EXPECT_LE(evs[i].end_ns, evs[0].end_ns);
+  }
+  EXPECT_EQ(Recorder::global().dropped(), 0u);
+}
+
+TEST(Span, ThreadsGetDistinctLanesAndStaySorted) {
+  ObsSession s(true, false);
+  constexpr int kThreads = 4, kSpans = 100;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) { FMMFFT_SPAN("w"); }
+    });
+  for (auto& t : ts) t.join();
+  auto evs = Recorder::global().snapshot();
+  EXPECT_EQ(evs.size(), std::size_t(kThreads * kSpans));
+  // Per lane: exactly kSpans events, starts non-decreasing, no overlap of
+  // same-depth spans (they are sequential on one thread).
+  std::map<int, std::vector<SpanEvent>> by_lane;
+  for (const auto& e : evs) by_lane[e.lane].push_back(e);
+  for (const auto& [lane, l] : by_lane) {
+    EXPECT_EQ(l.size(), std::size_t(kSpans)) << "lane " << lane;
+    for (std::size_t i = 1; i < l.size(); ++i) {
+      EXPECT_GE(l[i].start_ns, l[i - 1].start_ns);
+      EXPECT_GE(l[i].start_ns, l[i - 1].end_ns);  // sequential, depth 0
+    }
+  }
+}
+
+TEST(Span, LongNamesAreTruncatedNotOverflowed) {
+  ObsSession s(true, false);
+  const std::string big(100, 'x');
+  { FMMFFT_SPAN("p:", big); }
+  auto evs = Recorder::global().snapshot();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(std::string(evs[0].name).size(), std::size_t(SpanEvent::kNameCap - 1));
+}
+
+TEST(Counter, ParallelForArithmetic) {
+  ObsSession s(false, true);
+  const index_t n = 200000;
+  parallel_for(
+      n,
+      [](index_t b, index_t e) {
+        for (index_t i = b; i < e; ++i) FMMFFT_COUNT("test.iters", 1);
+      },
+      /*grain=*/64);
+  EXPECT_DOUBLE_EQ(Metrics::global().counter("test.iters").value(), double(n));
+
+  // Direct striped-counter hammering from raw threads.
+  Counter c;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(1.0);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), 80000.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Metrics, PrefixSumAndReset) {
+  ObsSession s(false, true);
+  Metrics::global().counter("a.x").add(1);
+  Metrics::global().counter("a.y").add(2);
+  Metrics::global().counter("b.z").add(4);
+  EXPECT_DOUBLE_EQ(Metrics::global().counters_with_prefix("a."), 3.0);
+  EXPECT_DOUBLE_EQ(Metrics::global().counters_with_prefix(""), 7.0);
+  Metrics::global().reset();
+  EXPECT_DOUBLE_EQ(Metrics::global().counters_with_prefix(""), 0.0);
+  // Instruments survive a reset; references stay valid.
+  EXPECT_DOUBLE_EQ(Metrics::global().counter("a.x").value(), 0.0);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  Histogram h;
+  h.observe(0.5);   // bucket 0: [0, 1)
+  h.observe(1.0);   // bucket 1: [1, 2)
+  h.observe(3.0);   // bucket 2: [2, 4)
+  h.observe(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1028.5);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+}
+
+TEST(Json, ExportersEmitValidJson) {
+  ObsSession s(true, true);
+  {
+    FMMFFT_SPAN("needs \"escaping\"\n");
+    FMMFFT_COUNT("json.count", 3.5);
+  }
+  Metrics::global().gauge("json.gauge").set(-2.25);
+  Metrics::global().histogram("json.hist").observe(7);
+
+  std::ostringstream trace;
+  Recorder::global().write_chrome_trace(trace);
+  EXPECT_TRUE(JsonValidator(trace.str()).valid()) << trace.str();
+  EXPECT_NE(trace.str().find("\"ph\": \"X\""), std::string::npos);
+
+  std::ostringstream metrics;
+  Metrics::global().write_json(metrics);
+  EXPECT_TRUE(JsonValidator(metrics.str()).valid()) << metrics.str();
+  EXPECT_NE(metrics.str().find("json.count"), std::string::npos);
+  EXPECT_NE(metrics.str().find("json.gauge"), std::string::npos);
+  EXPECT_NE(metrics.str().find("json.hist"), std::string::npos);
+}
+
+TEST(Disabled, HooksDoNotAllocate) {
+  disable();
+  reset();
+  // Warm up: make sure any lazy TLS setup behind the hooks has happened.
+  { FMMFFT_SPAN("warm"); }
+  FMMFFT_COUNT("warm", 1);
+  const std::uint64_t before = g_allocs.load();
+  for (int i = 0; i < 1000; ++i) {
+    FMMFFT_SPAN("disabled");
+    FMMFFT_SPAN("disabled:", std::string());  // suffix form short-circuits too
+    FMMFFT_COUNT("disabled.count", i);
+  }
+  EXPECT_EQ(g_allocs.load(), before);
+}
+
+TEST(Compare, ModelMatchesMeasuredOnDistributedRun) {
+  ObsSession s(false, true);
+  const fmm::Params prm{1 << 14, 64, 8, 2, 18};
+  const int g = 2;
+  using In = std::complex<double>;
+  std::vector<In> x(std::size_t(prm.n)), y(x.size());
+  fill_uniform(x.data(), prm.n, 7);
+  dist::DistFmmFft<In> plan(prm, g);
+  plan.execute(x.data(), y.data());
+
+  const auto report = compare_with_model(prm, /*components=*/2, g, sizeof(double));
+  EXPECT_TRUE(report.all_ok()) << report.to_string();
+  ASSERT_GE(report.checks.size(), 8u);
+
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+
+  // A second run doubles every counter; runs=2 must still agree.
+  plan.fabric().reset();
+  plan.execute(x.data(), y.data());
+  EXPECT_TRUE(compare_with_model(prm, 2, g, sizeof(double), /*runs=*/2).all_ok());
+}
+
+}  // namespace
+}  // namespace fmmfft::obs

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build (warnings surfaced), ctest, and a smoke
+# test that the observability exporters produce loadable JSON.
+#
+#   tools/check.sh [build-dir]     (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+echo "== configure =="
+cmake -B "$BUILD" -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra" >/dev/null
+
+echo "== build =="
+BUILD_LOG=$(mktemp)
+trap 'rm -f "$BUILD_LOG"' EXIT
+cmake --build "$BUILD" -j 2>&1 | tee "$BUILD_LOG" | grep -E "error|warning" || true
+if grep -qE "(error|Error)" "$BUILD_LOG"; then
+  echo "BUILD FAILED"
+  exit 1
+fi
+WARNINGS=$(grep -c "warning" "$BUILD_LOG" || true)
+echo "build OK (${WARNINGS} warnings)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure | tail -3
+
+echo "== trace smoke test =="
+TRACE=$(mktemp --suffix=.json)
+METRICS=$(mktemp --suffix=.json)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS"' EXIT
+# Explicit plan with L > B so every FMM stage (including the per-level
+# M2M/M2L/L2L) appears in the trace.
+FMMFFT_TRACE="$TRACE" FMMFFT_METRICS="$METRICS" \
+  "$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 >/dev/null
+
+for f in "$TRACE" "$METRICS"; do
+  [ -s "$f" ] || { echo "SMOKE FAILED: $f is empty"; exit 1; }
+done
+if command -v python3 >/dev/null; then
+  python3 - "$TRACE" "$METRICS" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+metrics = json.load(open(sys.argv[2]))
+names = {e["name"] for e in trace}
+need = {"S2M", "M2M", "S2T", "M2L", "M2L-B", "REDUCE", "L2L", "L2T",
+        "2DFFT-P", "2DFFT-M", "POST", "xfer:A2A-2D", "xfer:COMM-S"}
+missing = need - names
+assert not missing, f"trace missing spans: {missing}"
+assert metrics["counters"]["fmm.flops"] > 0
+print(f"trace OK: {len(trace)} events, {len(metrics['counters'])} counters")
+EOF
+else
+  echo "python3 not found; skipped JSON validation (files are non-empty)"
+fi
+
+echo "== all checks passed =="
