@@ -1,0 +1,135 @@
+// Benchmark regression runner: simulate the canonical paper configurations
+// (the Fig. 3/5 shapes) and emit a schema-versioned JSON of per-config
+// makespans, critical-path composition and utilization.
+//
+// Timings come from the event-driven schedule simulation, a pure function
+// of the plan and the architecture parameters — so the numbers are exactly
+// reproducible across machines and runs, and the committed
+// BENCH_fmmfft.json baseline turns any change to the schedule builders,
+// simulator or model into a visible diff. tools/bench_compare.py diffs a
+// fresh run against the baseline (tools/check.sh runs it as a gate); to
+// refresh after an intentional perf change:
+//
+//   build/bench/bench_runner BENCH_fmmfft.json
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "dist/schedules.hpp"
+#include "obs/analyze.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+struct Config {
+  std::string name;
+  model::ArchParams arch;
+  fmm::Params prm;
+  model::Workload w;
+};
+
+std::vector<Config> canonical_configs() {
+  std::vector<Config> cfgs;
+  auto add = [&](std::string name, model::ArchParams arch, index_t n, int q,
+                 const fmm::Params* fixed = nullptr) {
+    const model::Workload w{n, /*is_complex=*/true, /*is_double=*/true};
+    fmm::Params prm = fixed ? *fixed
+                            : model::search_best_params(n, arch.num_devices, w, arch, q);
+    cfgs.push_back({std::move(name), std::move(arch), prm, w});
+  };
+  // Fig. 2's canonical point, pinned to the paper's plan (35 launches).
+  const fmm::Params fig2{index_t(1) << 27, 256, 64, 3, 16};
+  add("2xP100-n27-fig2", model::p100_nvlink(2), fig2.n, 16, &fig2);
+  // Fig. 3 panels at their large-N endpoints, best-params as in the paper.
+  add("2xK40c-n24-best", model::k40c_pcie(2), index_t(1) << 24, 16);
+  add("8xP100-n27-best", model::p100_nvlink(8), index_t(1) << 27, 16);
+  // Fig. 5's small-N regime, where launch/sync overheads dominate.
+  add("8xP100-n20-best", model::p100_nvlink(8), index_t(1) << 20, 16);
+  return cfgs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fmmfft.json";
+  bench::print_header("Benchmark regression runner",
+                      "canonical Fig. 2/3/5 shapes, simulated (deterministic)");
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::JsonWriter jw(os);
+  jw.begin_object();
+  jw.kv("schema", "fmmfft.bench.v1");
+  jw.key("configs");
+  jw.begin_array();
+
+  Table t({"config", "fmmfft [ms]", "baseline [ms]", "speedup", "crit comm %", "mean util %"});
+  for (const Config& c : canonical_configs()) {
+    const int g = c.arch.num_devices;
+    auto fsched = dist::fmmfft_schedule(c.prm, c.w, g);
+    auto bsched = dist::baseline1d_schedule(c.prm.n, c.w, g);
+    const auto fres = fsched.simulate(c.arch);
+    const auto bres = bsched.simulate(c.arch);
+    const auto rep = obs::analyze(fsched, fres, c.arch);
+
+    double mean_util = 0;
+    for (const auto& [dev, busy] : rep.device_busy) {
+      (void)busy;
+      mean_util += rep.device_utilization(dev);
+    }
+    if (!rep.device_busy.empty()) mean_util /= double(rep.device_busy.size());
+
+    jw.begin_object();
+    jw.kv("name", c.name);
+    jw.kv("arch", c.arch.name);
+    jw.kv("devices", double(g));
+    jw.kv("log2n", double(ilog2_exact(c.prm.n)));
+    jw.key("params");
+    jw.begin_object();
+    jw.kv("p", double(c.prm.p));
+    jw.kv("ml", double(c.prm.ml));
+    jw.kv("b", double(c.prm.b));
+    jw.kv("q", double(c.prm.q));
+    jw.end_object();
+    jw.kv("fmmfft_seconds", fres.total_seconds);
+    jw.kv("baseline_seconds", bres.total_seconds);
+    jw.kv("speedup", bres.total_seconds / fres.total_seconds);
+    jw.kv("kernel_launches", double(fsched.kernel_launches()));
+    jw.kv("comm_bytes", fsched.total_comm_bytes());
+    jw.key("critical");
+    jw.begin_object();
+    jw.kv("coverage", rep.critical_coverage);
+    jw.kv("compute", rep.crit_compute);
+    jw.kv("bandwidth", rep.crit_bandwidth);
+    jw.kv("launch", rep.crit_launch);
+    jw.kv("comm", rep.crit_comm);
+    jw.kv("sync", rep.crit_sync);
+    jw.kv("a2a_seconds", rep.critical_stage_seconds("a2a"));
+    jw.end_object();
+    jw.kv("mean_device_utilization", mean_util);
+    jw.end_object();
+
+    t.row()
+        .col(c.name)
+        .col(fres.total_seconds * 1e3, 3)
+        .col(bres.total_seconds * 1e3, 3)
+        .col(bres.total_seconds / fres.total_seconds, 2)
+        .col(100.0 * rep.crit_comm / fres.total_seconds, 1)
+        .col(100.0 * mean_util, 1);
+  }
+  jw.end_array();
+  jw.end_object();
+  os << "\n";
+  t.print();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

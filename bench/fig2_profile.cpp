@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "dist/dfmmfft.hpp"
 #include "dist/schedules.hpp"
+#include "obs/analyze.hpp"
 
 int main() {
   using namespace fmmfft;
@@ -93,7 +94,14 @@ int main() {
   std::printf("FMM halo/gather comm: %.3f ms total (hidden under compute)\n",
               busy(fres, "COMM-") * 1e3);
 
-  // Traces go under artifacts/, not the repo root.
+  // Timeline analysis: where the makespan goes, and — the paper's §5.3
+  // question — whether the all-to-all sits on the critical path.
+  const obs::Report frep = obs::analyze(fsched, fres, arch);
+  const obs::Report brep = obs::analyze(bsched, bres, arch);
+  std::printf("\n--- FMM-FFT timeline analysis ---\n%s", frep.to_string().c_str());
+  std::printf("\n--- 1D FFT baseline timeline analysis ---\n%s", brep.to_string().c_str());
+
+  // Traces and reports go under artifacts/, not the repo root.
   std::filesystem::create_directories("artifacts");
   {
     std::ofstream os("artifacts/fig2_fmmfft_trace.json");
@@ -103,9 +111,21 @@ int main() {
     std::ofstream os("artifacts/fig2_baseline_trace.json");
     bsched.write_chrome_trace(bres, os);
   }
+  {
+    std::ofstream os("artifacts/fig2_fmmfft_report.json");
+    frep.write_json(os);
+    os << "\n";
+  }
+  {
+    std::ofstream os("artifacts/fig2_baseline_report.json");
+    brep.write_json(os);
+    os << "\n";
+  }
   std::printf(
       "\nChrome traces written: artifacts/fig2_fmmfft_trace.json, "
-      "artifacts/fig2_baseline_trace.json\n");
+      "artifacts/fig2_baseline_trace.json\n"
+      "Analyzer reports written: artifacts/fig2_fmmfft_report.json, "
+      "artifacts/fig2_baseline_report.json\n");
 
   // Native-scale cross-check with real numerics.
   {

@@ -4,13 +4,16 @@
 //   fmmfft_cli --log2n 18 [--precision c64|c32|f64|f32] [--devices G]
 //              [--p P --ml ML --b B --q Q | --eps 1e-12]
 //              [--simulate 2xk40|2xp100|8xp100] [--seed S]
+//              [--trace FILE] [--metrics FILE] [--report FILE]
 //
 // Without explicit parameters the plan comes from the a-priori error model
 // (fmm::suggest_params). With --simulate, the run is also scheduled on the
-// chosen paper architecture and compared against the 1D-FFT baseline.
+// chosen paper architecture, compared against the 1D-FFT baseline, and the
+// timeline analyzer prints a critical-path / bottleneck summary.
 #include <complex>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "dist/schedules.hpp"
 #include "fmm/accuracy.hpp"
 #include "model/counts.hpp"
+#include "obs/analyze.hpp"
 #include "obs/compare.hpp"
 #include "obs/obs.hpp"
 
@@ -39,14 +43,40 @@ struct Options {
   double eps = 1e-12;
   std::string simulate;
   std::uint64_t seed = 1;
+  std::string trace, metrics, report;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+void print_usage(const char* argv0) {
   std::printf(
-      "usage: %s --log2n K [--precision c64|c32|f64|f32] [--devices G]\n"
-      "          [--p P --ml ML --b B --q Q | --eps E]\n"
-      "          [--simulate 2xk40|2xp100|8xp100] [--seed S]\n",
+      "usage: %s --log2n K [options]\n"
+      "\n"
+      "plan / execution:\n"
+      "  --log2n K              transform size n = 2^K (K in [10, 26])\n"
+      "  --precision c64|c32|f64|f32   input element type (default c64)\n"
+      "  --devices G            split the run across G simulated devices\n"
+      "  --p P --ml ML --b B --q Q     pin the FMM plan explicitly\n"
+      "  --eps E                or derive the plan from a target error (default 1e-12)\n"
+      "  --seed S               RNG seed for the input vector\n"
+      "\n"
+      "modeling:\n"
+      "  --simulate 2xk40|2xp100|8xp100\n"
+      "                         schedule the plan on a paper architecture and\n"
+      "                         compare against the 1D-FFT baseline; prints the\n"
+      "                         timeline analyzer's critical-path summary\n"
+      "\n"
+      "observability (both --flag FILE and --flag=FILE forms accepted):\n"
+      "  --trace FILE           record spans, write a chrome://tracing JSON\n"
+      "  --metrics FILE         record counters/histograms (with p50/p95/p99),\n"
+      "                         write a metrics JSON and the model-vs-measured check\n"
+      "  --report FILE          write the timeline analyzer report JSON for the\n"
+      "                         simulated run (defaults to 2xp100 without --simulate)\n"
+      "\n"
+      "  --help                 this message\n",
       argv0);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(argv0);
   std::exit(2);
 }
 
@@ -60,6 +90,20 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // String-valued flags accepting both "--flag value" and "--flag=value".
+    auto opt = [&](const char* flag, std::string* out) -> bool {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) != 0) return false;
+      if (argv[i][len] == '=') return *out = argv[i] + len + 1, true;
+      if (argv[i][len] == '\0') return *out = need(flag), true;
+      return false;
+    };
+    if (!std::strcmp(argv[i], "--help")) {
+      print_usage(argv[0]);
+      std::exit(0);
+    }
+    if (opt("--trace", &o.trace) || opt("--metrics", &o.metrics) || opt("--report", &o.report))
+      continue;
     if (!std::strcmp(argv[i], "--log2n")) o.log2n = std::atoi(need("--log2n"));
     else if (!std::strcmp(argv[i], "--precision")) o.precision = need("--precision");
     else if (!std::strcmp(argv[i], "--devices")) o.devices = std::atoi(need("--devices"));
@@ -97,6 +141,9 @@ int run(const Options& o) {
   std::printf("predicted rel l2 error: %.1e\n",
               fmm::predict_rel_error(prm.q, sizeof(Real) == 8));
 
+  if (!o.trace.empty()) obs::enable_tracing(true);
+  if (!o.metrics.empty()) obs::enable_metrics(true);
+
   std::vector<InT> x(static_cast<std::size_t>(n));
   fill_uniform(x.data(), n, o.seed);
   std::vector<Out> y(static_cast<std::size_t>(n));
@@ -128,6 +175,21 @@ int run(const Options& o) {
     std::printf("model check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
   }
 
+  // Dump observability artifacts now, before the exact-FFT verification
+  // below contaminates the counters with its own fft.flops.
+  if (!o.trace.empty()) {
+    if (obs::write_trace_file(o.trace))
+      std::printf("wrote trace to %s\n", o.trace.c_str());
+    else
+      std::printf("WARNING: could not write trace to %s\n", o.trace.c_str());
+  }
+  if (!o.metrics.empty()) {
+    if (obs::write_metrics_file(o.metrics))
+      std::printf("wrote metrics to %s\n", o.metrics.c_str());
+    else
+      std::printf("WARNING: could not write metrics to %s\n", o.metrics.c_str());
+  }
+
   // Verify against the exact transform in double precision.
   std::vector<std::complex<double>> xd(x.size()), ref(x.size()), yd(y.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -141,18 +203,33 @@ int run(const Options& o) {
   const double err = rel_l2_error(yd.data(), ref.data(), n);
   std::printf("measured rel l2 error: %.2e\n", err);
 
-  if (!o.simulate.empty()) {
-    model::ArchParams arch = o.simulate == "2xk40"    ? model::k40c_pcie(2)
-                             : o.simulate == "8xp100" ? model::p100_nvlink(8)
-                                                      : model::p100_nvlink(2);
+  if (!o.simulate.empty() || !o.report.empty()) {
+    // --report without --simulate analyzes the default paper architecture.
+    const std::string which = o.simulate.empty() ? "2xp100" : o.simulate;
+    model::ArchParams arch = which == "2xk40"    ? model::k40c_pcie(2)
+                             : which == "8xp100" ? model::p100_nvlink(8)
+                                                 : model::p100_nvlink(2);
     const model::Workload w{n, is_complex_v<InT>, sizeof(Real) == 8};
-    const double tf = dist::fmmfft_schedule(prm, w, arch.num_devices)
-                          .simulate(arch)
-                          .total_seconds;
+    auto fsched = dist::fmmfft_schedule(prm, w, arch.num_devices);
+    const auto fres = fsched.simulate(arch);
     const double tb =
         dist::baseline1d_schedule(n, w, arch.num_devices).simulate(arch).total_seconds;
     std::printf("simulated on %s: FMM-FFT %.3f ms vs 1D FFT %.3f ms -> speedup %.2fx\n",
-                arch.name.c_str(), tf * 1e3, tb * 1e3, tb / tf);
+                arch.name.c_str(), fres.total_seconds * 1e3, tb * 1e3,
+                tb / fres.total_seconds);
+
+    const obs::Report rep = obs::analyze(fsched, fres, arch);
+    std::printf("\n%s", rep.to_string().c_str());
+    if (!o.report.empty()) {
+      std::ofstream os(o.report);
+      if (os) {
+        rep.write_json(os);
+        os << "\n";
+        std::printf("wrote analyzer report to %s\n", o.report.c_str());
+      } else {
+        std::printf("WARNING: could not write report to %s\n", o.report.c_str());
+      }
+    }
   }
   return err < fmm::predict_rel_error(prm.q, sizeof(Real) == 8) ? 0 : 1;
 }

@@ -28,6 +28,7 @@ ChunkedA2A chunked_all_to_all(Schedule& s, int g, int chunks, double bytes_per_p
                               const std::string& tag, const model::Workload& w,
                               double slab_pts,
                               const std::vector<std::vector<int>>& producer_deps) {
+  s.set_stage("a2a");
   ChunkedA2A out;
   out.arrivals.assign((std::size_t)g, std::vector<int>((std::size_t)chunks, -1));
   const double chunk_bytes = bytes_per_pair / chunks;
@@ -72,6 +73,7 @@ std::vector<std::vector<int>> fft_phase(Schedule& s, int g, int chunks, double t
                                         double len, const model::Workload& w,
                                         const std::string& label,
                                         const std::vector<std::vector<int>>& deps) {
+  s.set_stage("fft");
   std::vector<std::vector<int>> ids((std::size_t)g, std::vector<int>((std::size_t)chunks));
   const double pts = total_points / chunks;
   const double flops = 5.0 * pts * (len > 1 ? std::log2(len) : 0.0);
@@ -94,6 +96,7 @@ std::vector<std::vector<int>> fft_phase(Schedule& s, int g, int chunks, double t
 std::vector<std::vector<int>> global_sync(Schedule& s, int g, int chunks,
                                           const std::string& label, double seconds,
                                           const std::vector<std::vector<int>>& phase_ops) {
+  s.set_stage("sync");
   std::vector<int> all;
   for (const auto& per_dev : phase_ops)
     for (int id : per_dev)
@@ -113,6 +116,7 @@ sim::Schedule fmmfft_schedule(const fmm::Params& prm, const model::Workload& w, 
                               bool fuse_post) {
   prm.validate_distributed(g);
   Schedule s;
+  s.set_stage("fmm");
   const int c = w.c();
   const int l = prm.l(), b = prm.b;
   const double rb = w.real_bytes();
@@ -216,6 +220,7 @@ sim::Schedule fmmfft_schedule(const fmm::Params& prm, const model::Workload& w, 
   }
 
   // POST, fused into the 2D-FFT load (one sweep) or staged (two sweeps).
+  s.set_stage("post");
   const double slab_pts = double(prm.n) / g;
   const int chunks = chunk_count(g);
   std::vector<std::vector<int>> post((std::size_t)g, std::vector<int>((std::size_t)chunks));
@@ -254,6 +259,7 @@ sim::Schedule baseline1d_schedule(index_t n, const model::Workload& w, int g) {
   auto sy1 = global_sync(s, g, chunks, "SYNC", -1.0, a1.arrivals);
   auto f1 = fft_phase(s, g, chunks, slab_pts, double(mfac), w, "FFT-M", sy1);
   std::vector<std::vector<int>> tw((std::size_t)g, std::vector<int>((std::size_t)chunks));
+  s.set_stage("fft");  // twiddle fixup rides the FFT phase
   for (int d = 0; d < g; ++d)
     for (int c = 0; c < chunks; ++c)
       tw[(std::size_t)d][(std::size_t)c] =

@@ -34,6 +34,7 @@ void count_stage(const StageStats& st) {
   FMMFFT_COUNT("fmm.flops", st.flops);
   FMMFFT_COUNT("fmm.mem_bytes", st.mem_bytes);
   FMMFFT_COUNT("fmm.launches", st.launches);
+  FMMFFT_HIST("fmm.launch_us", st.seconds * 1e6);
 }
 
 }  // namespace

@@ -1,0 +1,413 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace fmmfft::obs {
+
+namespace {
+
+using sim::Op;
+
+/// Cost terms of one op under the model, before efficiency scaling. For
+/// kernels `flop_t`/`mem_t` are the two roofline terms; for transfers they
+/// are the latency and bandwidth terms. max(flop_t, mem_t) reproduces
+/// model::roofline_seconds / link time split.
+struct CostTerms {
+  double flop_t = 0;
+  double mem_t = 0;
+};
+
+CostTerms cost_terms(const Op& op, const model::ArchParams& arch) {
+  CostTerms t;
+  if (op.kind == Op::Kind::Kernel && op.fixed_seconds == 0.0) {
+    if (op.flops > 0) t.flop_t = op.flops / arch.gamma(op.is_double);
+    if (op.bytes > 0) t.mem_t = op.bytes / arch.beta_mem;
+  } else if (op.kind == Op::Kind::Comm) {
+    const bool inter = !arch.same_node(op.device, op.peer);
+    t.flop_t = inter ? arch.internode_latency : arch.link_latency;
+    t.mem_t = op.bytes / (inter ? arch.internode_bw : arch.link_bw);
+  }
+  return t;
+}
+
+Bound classify(const Op& op, const model::ArchParams& arch) {
+  switch (op.kind) {
+    case Op::Kind::Meta: return Bound::None;
+    case Op::Kind::Comm: {
+      const CostTerms t = cost_terms(op, arch);
+      return t.flop_t >= t.mem_t ? Bound::Latency : Bound::Link;
+    }
+    case Op::Kind::Kernel: {
+      if (op.fixed_seconds != 0.0) return Bound::Sync;
+      const CostTerms t = cost_terms(op, arch);
+      const double roof = std::max(t.flop_t, t.mem_t) / arch.efficiency(op.kclass);
+      if (arch.launch_overhead >= roof) return Bound::Launch;
+      return t.flop_t >= t.mem_t ? Bound::Compute : Bound::Bandwidth;
+    }
+  }
+  return Bound::None;
+}
+
+std::string lane_name(const Op& op) {
+  if (op.kind == Op::Kind::Comm)
+    return "dev" + std::to_string(op.device) + "->dev" + std::to_string(op.peer);
+  return "dev" + std::to_string(op.device) + "/s" + std::to_string(op.stream);
+}
+
+std::string pct(double x, double total) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", total > 0 ? 100.0 * x / total : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* bound_name(Bound b) {
+  switch (b) {
+    case Bound::Compute: return "compute";
+    case Bound::Bandwidth: return "bandwidth";
+    case Bound::Launch: return "launch";
+    case Bound::Link: return "link";
+    case Bound::Latency: return "latency";
+    case Bound::Sync: return "sync";
+    case Bound::None: return "none";
+  }
+  return "none";
+}
+
+double Report::critical_stage_seconds(const std::string& stage) const {
+  auto it = critical_by_stage.find(stage);
+  return it == critical_by_stage.end() ? 0.0 : it->second;
+}
+
+double Report::device_utilization(int device) const {
+  auto busy = device_busy.find(device);
+  auto lanes_it = device_lanes.find(device);
+  if (busy == device_busy.end() || lanes_it == device_lanes.end() || total_seconds <= 0)
+    return 0.0;
+  return busy->second / (lanes_it->second * total_seconds);
+}
+
+Report analyze(const sim::Schedule& sched, const sim::SimResult& res,
+               const model::ArchParams& arch) {
+  const auto& ops = sched.ops();
+  FMMFFT_CHECK_MSG(res.timings.size() == ops.size(), "SimResult does not match Schedule");
+  FMMFFT_CHECK_MSG(res.resource_preds.size() == ops.size(),
+                   "SimResult lacks resource predecessors (re-run simulate())");
+  const std::size_t n = ops.size();
+
+  Report rep;
+  rep.arch = arch.name;
+  rep.total_seconds = res.total_seconds;
+  rep.ops.resize(n);
+
+  auto start = [&](int i) { return res.timings[(std::size_t)i].start; };
+  auto end = [&](int i) { return res.timings[(std::size_t)i].end; };
+  auto dur = [&](int i) { return end(i) - start(i); };
+
+  // Binding constraint per op: among dependency and resource predecessors,
+  // the one that finished last (ties prefer the data dependency, so the
+  // walk favours semantic chains over engine-occupancy chains).
+  for (std::size_t i = 0; i < n; ++i) {
+    OpAnalysis& oa = rep.ops[i];
+    oa.id = (int)i;
+    oa.label = ops[i].label;
+    oa.stage = ops[i].stage;
+    oa.start = start((int)i);
+    oa.end = end((int)i);
+    oa.seconds = dur((int)i);
+    oa.bound = classify(ops[i], arch);
+    int best = -1;
+    double best_end = -1.0;
+    bool best_is_dep = false;
+    auto consider = [&](int p, bool is_dep) {
+      const double e = end(p);
+      if (e > best_end || (e == best_end && is_dep && !best_is_dep)) {
+        best = p;
+        best_end = e;
+        best_is_dep = is_dep;
+      }
+    };
+    for (int p : ops[i].deps) consider(p, true);
+    for (int p : res.resource_preds[i]) consider(p, false);
+    oa.binding = best;
+  }
+
+  // -- Critical path: walk back from the op that ends at the makespan.
+  int cur = -1;
+  for (std::size_t i = 0; i < n; ++i)
+    if (cur < 0 || end((int)i) > end(cur)) cur = (int)i;
+  while (cur >= 0) {
+    rep.critical_path.push_back(cur);
+    rep.ops[(std::size_t)cur].critical = true;
+    if (start(cur) <= 0.0) break;
+    cur = rep.ops[(std::size_t)cur].binding;
+  }
+  std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+
+  for (int id : rep.critical_path) {
+    const Op& op = ops[(std::size_t)id];
+    const double d = dur(id);
+    rep.critical_seconds += d;
+    if (d > 0) {
+      rep.critical_by_stage[op.stage.empty() ? "(untagged)" : op.stage] += d;
+      rep.critical_by_label[op.label] += d;
+    }
+    switch (op.kind) {
+      case Op::Kind::Meta: break;
+      case Op::Kind::Comm: rep.crit_comm += d; break;
+      case Op::Kind::Kernel: {
+        if (op.fixed_seconds != 0.0) {
+          rep.crit_sync += d;
+          break;
+        }
+        const double launch = std::min(d, arch.launch_overhead);
+        rep.crit_launch += launch;
+        const CostTerms t = cost_terms(op, arch);
+        (t.flop_t >= t.mem_t ? rep.crit_compute : rep.crit_bandwidth) += d - launch;
+        break;
+      }
+    }
+  }
+  rep.critical_coverage =
+      rep.total_seconds > 0 ? rep.critical_seconds / rep.total_seconds : 1.0;
+
+  // -- Slack (CPM backward pass). Resource edges are constraints of the
+  // same start >= pred.end form as dependencies, and both kinds always
+  // point to lower ids, so one reverse sweep suffices.
+  std::vector<double> latest_end(n, rep.total_seconds);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double ls = latest_end[ii] - dur((int)ii);
+    rep.ops[ii].slack = ls - start((int)ii);
+    for (int p : ops[ii].deps)
+      latest_end[(std::size_t)p] = std::min(latest_end[(std::size_t)p], ls);
+    for (int p : res.resource_preds[ii])
+      latest_end[(std::size_t)p] = std::min(latest_end[(std::size_t)p], ls);
+  }
+
+  // -- Lane utilization and idle attribution.
+  std::map<std::pair<int, std::string>, std::vector<int>> lanes;  // (sort key)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind == Op::Kind::Meta) continue;
+    const int kindkey = ops[i].kind == Op::Kind::Comm ? 1 : 0;
+    lanes[{kindkey, lane_name(ops[i])}].push_back((int)i);
+  }
+  // Resolve a binding through zero-cost meta joins to the op that actually
+  // finished late (the fmm/post joins would otherwise absorb attribution).
+  auto resolve = [&](int b) {
+    while (b >= 0 && ops[(std::size_t)b].kind == Op::Kind::Meta &&
+           rep.ops[(std::size_t)b].binding >= 0)
+      b = rep.ops[(std::size_t)b].binding;
+    return b;
+  };
+  for (const auto& [key, ids] : lanes) {
+    LaneUtil lane;
+    lane.name = key.second;
+    lane.device = ops[(std::size_t)ids.front()].device;
+    lane.is_comm = key.first == 1;
+    double prev_end = 0.0;
+    for (int id : ids) {
+      OpAnalysis& oa = rep.ops[(std::size_t)id];
+      const Op& op = ops[(std::size_t)id];
+      oa.gap = std::max(0.0, start(id) - prev_end);
+      if (oa.gap > 0) {
+        const int b = resolve(oa.binding);
+        bool is_dep = false;
+        if (b >= 0) {
+          const auto& deps = op.deps;
+          is_dep = std::find(deps.begin(), deps.end(), b) != deps.end() ||
+                   std::find(deps.begin(), deps.end(), oa.binding) != deps.end();
+        }
+        if (b < 0)
+          oa.wait = Wait::Dep;
+        else if (!is_dep)
+          oa.wait = Wait::Resource;
+        else
+          oa.wait = ops[(std::size_t)b].kind == Op::Kind::Comm ? Wait::Comm : Wait::Dep;
+        (oa.wait == Wait::Comm       ? lane.idle_comm
+         : oa.wait == Wait::Resource ? lane.idle_resource
+                                     : lane.idle_dep) += oa.gap;
+      }
+      lane.busy += dur(id);
+      if (op.kind == Op::Kind::Kernel)
+        lane.overhead += op.fixed_seconds != 0.0 ? dur(id)
+                                                 : std::min(dur(id), arch.launch_overhead);
+      prev_end = end(id);
+    }
+    lane.idle_drain = std::max(0.0, rep.total_seconds - prev_end);
+    if (!lane.is_comm) {
+      rep.device_busy[lane.device] += lane.busy;
+      rep.device_lanes[lane.device] += 1;
+    }
+    rep.lanes.push_back(std::move(lane));
+  }
+
+  // -- Bound census over all non-meta ops.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind == Op::Kind::Meta) continue;
+    BoundSlice& s = rep.bound_census[bound_name(rep.ops[i].bound)];
+    s.count += 1;
+    s.seconds += dur((int)i);
+  }
+  return rep;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  char buf[256];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  line("=== timeline report: %s, makespan %.3f ms ===\n", arch.c_str(),
+       total_seconds * 1e3);
+  line("critical path: %d ops, coverage %s of makespan\n", (int)critical_path.size(),
+       pct(critical_seconds, total_seconds).c_str());
+  line("  composition: compute %s | bandwidth %s | launch %s | comm %s | sync %s\n",
+       pct(crit_compute, total_seconds).c_str(), pct(crit_bandwidth, total_seconds).c_str(),
+       pct(crit_launch, total_seconds).c_str(), pct(crit_comm, total_seconds).c_str(),
+       pct(crit_sync, total_seconds).c_str());
+  if (!critical_by_stage.empty()) {
+    out += "  by stage:";
+    for (const auto& [stage, sec] : critical_by_stage)
+      line(" %s %s", stage.c_str(), pct(sec, total_seconds).c_str());
+    out += "\n";
+    const double a2a = critical_stage_seconds("a2a");
+    line("  all-to-all on critical path: %s (%s of makespan)\n",
+         a2a > 1e-3 * total_seconds ? "YES" : "no", pct(a2a, total_seconds).c_str());
+  }
+  // Top critical labels by time.
+  std::vector<std::pair<std::string, double>> labels(critical_by_label.begin(),
+                                                     critical_by_label.end());
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out += "  top critical labels:";
+  for (std::size_t i = 0; i < labels.size() && i < 5; ++i)
+    line(" %s %s", labels[i].first.c_str(), pct(labels[i].second, total_seconds).c_str());
+  out += "\n";
+
+  out += "device utilization:";
+  for (const auto& [dev, busy] : device_busy) {
+    (void)busy;
+    line("  dev%d %s (%d lanes)", dev, pct(device_utilization(dev), 1.0).c_str(),
+         device_lanes.at(dev));
+  }
+  out += "\n";
+  out += "lanes (busy | overhead | idle dep/comm/engine/drain, % of makespan):\n";
+  for (const LaneUtil& l : lanes)
+    line("  %-14s %6s | %6s | %s / %s / %s / %s\n", l.name.c_str(),
+         pct(l.busy, total_seconds).c_str(), pct(l.overhead, total_seconds).c_str(),
+         pct(l.idle_dep, total_seconds).c_str(), pct(l.idle_comm, total_seconds).c_str(),
+         pct(l.idle_resource, total_seconds).c_str(),
+         pct(l.idle_drain, total_seconds).c_str());
+  out += "op bound census:";
+  for (const auto& [name, s] : bound_census)
+    line(" %s %d (%.3f ms)", name.c_str(), s.count, s.seconds * 1e3);
+  out += "\n";
+  return out;
+}
+
+void Report::write_json(std::ostream& os) const {
+  JsonWriter jw(os);
+  jw.begin_object();
+  jw.kv("schema", "fmmfft.report.v1");
+  jw.kv("arch", arch);
+  jw.kv("total_seconds", total_seconds);
+
+  jw.key("critical_path");
+  jw.begin_object();
+  jw.kv("seconds", critical_seconds);
+  jw.kv("coverage", critical_coverage);
+  jw.key("composition");
+  jw.begin_object();
+  jw.kv("compute", crit_compute);
+  jw.kv("bandwidth", crit_bandwidth);
+  jw.kv("launch", crit_launch);
+  jw.kv("comm", crit_comm);
+  jw.kv("sync", crit_sync);
+  jw.end_object();
+  jw.key("by_stage");
+  jw.begin_object();
+  for (const auto& [stage, sec] : critical_by_stage) jw.kv(stage, sec);
+  jw.end_object();
+  jw.key("by_label");
+  jw.begin_object();
+  for (const auto& [label, sec] : critical_by_label) jw.kv(label, sec);
+  jw.end_object();
+  jw.key("ops");
+  jw.begin_array();
+  // Indices into the top-level "ops" array; full detail lives there.
+  for (int id : critical_path) jw.value(double(id));
+  jw.end_array();
+  jw.end_object();
+
+  jw.key("lanes");
+  jw.begin_array();
+  for (const LaneUtil& l : lanes) {
+    jw.begin_object();
+    jw.kv("name", l.name);
+    jw.kv("device", double(l.device));
+    jw.key("is_comm");
+    jw.value(l.is_comm);
+    jw.kv("busy", l.busy);
+    jw.kv("overhead", l.overhead);
+    jw.kv("idle_dep", l.idle_dep);
+    jw.kv("idle_comm", l.idle_comm);
+    jw.kv("idle_resource", l.idle_resource);
+    jw.kv("idle_drain", l.idle_drain);
+    jw.kv("utilization", l.utilization(total_seconds));
+    jw.end_object();
+  }
+  jw.end_array();
+
+  jw.key("devices");
+  jw.begin_array();
+  for (const auto& [dev, busy] : device_busy) {
+    jw.begin_object();
+    jw.kv("device", double(dev));
+    jw.kv("busy_seconds", busy);
+    jw.kv("lanes", double(device_lanes.at(dev)));
+    jw.kv("utilization", device_utilization(dev));
+    jw.end_object();
+  }
+  jw.end_array();
+
+  jw.key("bound_census");
+  jw.begin_object();
+  for (const auto& [name, s] : bound_census) {
+    jw.key(name);
+    jw.begin_object();
+    jw.kv("count", double(s.count));
+    jw.kv("seconds", s.seconds);
+    jw.end_object();
+  }
+  jw.end_object();
+
+  jw.key("ops");
+  jw.begin_array();
+  for (const OpAnalysis& oa : ops) {
+    jw.begin_object();
+    jw.kv("id", double(oa.id));
+    jw.kv("label", oa.label);
+    jw.kv("stage", oa.stage);
+    jw.kv("start", oa.start);
+    jw.kv("end", oa.end);
+    jw.kv("seconds", oa.seconds);
+    jw.kv("slack", oa.slack);
+    jw.key("critical");
+    jw.value(oa.critical);
+    jw.kv("bound", bound_name(oa.bound));
+    jw.kv("binding", double(oa.binding));
+    jw.kv("gap", oa.gap);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+}
+
+}  // namespace fmmfft::obs

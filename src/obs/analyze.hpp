@@ -1,0 +1,144 @@
+// Timeline analysis of a simulated run: critical path, slack, utilization
+// and bottleneck attribution.
+//
+// sim::Schedule::simulate assigns every op a start/end time plus the full
+// set of constraints that could have bound its start (dependency edges and
+// resource predecessors). This engine interprets that data the way §5 of
+// the paper argues about time:
+//
+//  * critical path — the longest contiguous constraint chain through the op
+//    DAG, walked backwards from the makespan. Because resource edges are
+//    included, the chain is airtight: its durations sum to exactly
+//    SimResult::total_seconds, so the composition (compute / bandwidth /
+//    launch / comm / sync seconds) is a complete account of where the
+//    makespan went, and "is the all-to-all on the critical path?" (§5.3)
+//    has a precise answer.
+//  * slack — classic CPM latest-start minus actual start per op; zero-slack
+//    ops are the ones a faster kernel would actually help.
+//  * utilization — per-lane and per-device busy fractions with idle-gap
+//    attribution: waiting on a transfer, waiting on a compute/meta
+//    dependency, waiting on a shared engine, or draining at the end.
+//  * roofline classification — every op labelled compute-, bandwidth-,
+//    launch-, link-, or sync-bound under the same model::ArchParams the
+//    simulator used.
+//
+// The Report exports as JSON (obs::JsonWriter, schema
+// "fmmfft.report.v1") and as a human-readable text summary; both are wired
+// into examples/fmmfft_cli (--report) and bench/fig2_profile, and
+// bench/bench_runner commits per-config compositions to BENCH_fmmfft.json
+// for the regression gate.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/arch.hpp"
+#include "sim/schedule.hpp"
+
+namespace fmmfft::obs {
+
+/// What bounds an op's duration under the architecture model.
+enum class Bound {
+  Compute,    ///< roofline flop term dominates
+  Bandwidth,  ///< roofline memory term dominates
+  Launch,     ///< per-launch overhead exceeds the roofline time
+  Link,       ///< transfer, bandwidth term dominates
+  Latency,    ///< transfer, per-message latency dominates
+  Sync,       ///< fixed host-side stall
+  None        ///< zero-cost meta op
+};
+const char* bound_name(Bound b);
+
+/// Why an op's lane sat idle immediately before it started.
+enum class Wait {
+  None,      ///< no gap (back-to-back or starts at t=0)
+  Dep,       ///< a compute/meta dependency finished late
+  Comm,      ///< a transfer it depends on arrived late
+  Resource,  ///< a shared engine (bus, NIC, copy engine) was held elsewhere
+};
+
+struct OpAnalysis {
+  int id = -1;
+  std::string label;  ///< copied from the Op so the Report is self-contained
+  std::string stage;
+  double start = 0, end = 0;
+  double seconds = 0;  ///< simulated duration
+  double slack = 0;    ///< latest start - actual start; 0 on the critical path
+  bool critical = false;
+  Bound bound = Bound::None;
+  int binding = -1;  ///< the constraint (dep or resource pred) whose finish
+                     ///< set this op's start; -1 if it started unconstrained
+  Wait wait = Wait::None;
+  double gap = 0;  ///< idle seconds on the op's lane before it started
+};
+
+/// One execution lane (a (device, stream) compute lane or a directed
+/// device-pair link) over the whole run. busy + the four idle buckets sum
+/// to the makespan.
+struct LaneUtil {
+  std::string name;  ///< "dev0/s1" or "dev0->dev1"
+  int device = -1;   ///< owning (or source) device
+  bool is_comm = false;
+  double busy = 0;       ///< occupied seconds (includes overhead)
+  double overhead = 0;   ///< launch/sync portion of busy
+  double idle_dep = 0;   ///< gaps waiting on compute/meta dependencies
+  double idle_comm = 0;  ///< gaps waiting on transfers
+  double idle_resource = 0;  ///< gaps waiting on shared engines
+  double idle_drain = 0;     ///< leading/trailing idle (before first op,
+                             ///< after last op, until the makespan)
+  double utilization(double total_seconds) const {
+    return total_seconds > 0 ? busy / total_seconds : 0.0;
+  }
+};
+
+struct BoundSlice {
+  int count = 0;
+  double seconds = 0;
+};
+
+struct Report {
+  std::string arch;
+  double total_seconds = 0;
+
+  std::vector<OpAnalysis> ops;  ///< indexed by op id
+
+  // -- Critical path, in execution order.
+  std::vector<int> critical_path;  ///< op ids
+  double critical_seconds = 0;     ///< sum of path durations
+  /// critical_seconds / total_seconds. 1.0 means the walk is airtight (it
+  /// always is when the SimResult carries resource predecessors).
+  double critical_coverage = 0;
+  std::map<std::string, double> critical_by_stage;  ///< seconds per Op::stage
+  std::map<std::string, double> critical_by_label;
+  // Composition: these five sum to critical_seconds.
+  double crit_compute = 0;    ///< roofline flop time of path kernels
+  double crit_bandwidth = 0;  ///< roofline memory time of path kernels
+  double crit_launch = 0;     ///< launch overhead of path kernels
+  double crit_comm = 0;       ///< transfer time (incl. latency) on the path
+  double crit_sync = 0;       ///< fixed host stalls on the path
+
+  std::vector<LaneUtil> lanes;  ///< compute lanes first, then links
+  /// Per-device aggregate over its compute lanes: busy seconds / (lanes ×
+  /// makespan) is the device utilization the text summary prints.
+  std::map<int, double> device_busy;
+  std::map<int, int> device_lanes;
+
+  std::map<std::string, BoundSlice> bound_census;  ///< keyed by bound_name
+
+  /// Seconds of ops whose Op::stage equals `stage` on the critical path.
+  double critical_stage_seconds(const std::string& stage) const;
+  double device_utilization(int device) const;
+
+  std::string to_string() const;
+  void write_json(std::ostream& os) const;  ///< schema "fmmfft.report.v1"
+};
+
+/// Analyze a simulated schedule. `res` must come from `sched.simulate(arch)`
+/// with the same arch (the roofline classification re-derives per-op cost
+/// terms from it).
+Report analyze(const sim::Schedule& sched, const sim::SimResult& res,
+               const model::ArchParams& arch);
+
+}  // namespace fmmfft::obs

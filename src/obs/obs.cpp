@@ -184,6 +184,28 @@ std::uint64_t Histogram::count() const {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+double Histogram::percentile(double p) const {
+  // Snapshot once so the estimate is consistent under concurrent observe().
+  std::uint64_t snap[kBuckets];
+  std::uint64_t total = 0;
+  for (int k = 0; k < kBuckets; ++k) total += snap[k] = buckets_[k].load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const double rank = std::min(std::max(p, 0.0), 100.0) / 100.0 * double(total);
+  double cum = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    if (snap[k] == 0) continue;
+    const double next = cum + double(snap[k]);
+    if (next >= rank) {
+      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, k - 1);
+      const double hi = std::ldexp(1.0, k);
+      const double frac = (rank - cum) / double(snap[k]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return std::ldexp(1.0, kBuckets - 1);  // unreachable: rank <= total
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
@@ -243,6 +265,9 @@ void Metrics::write_json(std::ostream& os) const {
     jw.begin_object();
     jw.kv("count", double(h.count()));
     jw.kv("sum", h.sum());
+    jw.kv("p50", h.percentile(50));
+    jw.kv("p95", h.percentile(95));
+    jw.kv("p99", h.percentile(99));
     jw.key("buckets");
     jw.begin_array();
     for (int k = 0; k < Histogram::kBuckets; ++k) {

@@ -191,6 +191,10 @@ class Histogram {
   std::uint64_t count() const;
   double sum() const;
   std::uint64_t bucket(int k) const { return buckets_[k].load(std::memory_order_relaxed); }
+  /// Estimated p-th percentile (p in [0, 100]), linearly interpolated within
+  /// the containing bucket; 0 when the histogram is empty. Resolution is the
+  /// bucket width, i.e. a factor of 2.
+  double percentile(double p) const;
 
  private:
   friend class Metrics;
@@ -247,6 +251,7 @@ bool write_metrics_file(const std::string& path);
 #ifdef FMMFFT_OBS_DISABLE
 #define FMMFFT_SPAN(...) ((void)0)
 #define FMMFFT_COUNT(name, delta) ((void)0)
+#define FMMFFT_HIST(name, value) ((void)0)
 #else
 #define FMMFFT_OBS_CONCAT2(a, b) a##b
 #define FMMFFT_OBS_CONCAT(a, b) FMMFFT_OBS_CONCAT2(a, b)
@@ -262,6 +267,16 @@ bool write_metrics_file(const std::string& path);
       static ::fmmfft::obs::Counter& fmmfft_obs_counter =                           \
           ::fmmfft::obs::Metrics::global().counter(name);                           \
       fmmfft_obs_counter.add(static_cast<double>(delta));                           \
+    }                                                                               \
+  } while (0)
+/// Observe `value` in the histogram named by the string literal `name`
+/// (power-of-two buckets; p50/p95/p99 appear in the metrics JSON).
+#define FMMFFT_HIST(name, value)                                                    \
+  do {                                                                              \
+    if (::fmmfft::obs::metrics_enabled()) {                                         \
+      static ::fmmfft::obs::Histogram& fmmfft_obs_hist =                            \
+          ::fmmfft::obs::Metrics::global().histogram(name);                         \
+      fmmfft_obs_hist.observe(static_cast<double>(value));                          \
     }                                                                               \
   } while (0)
 #endif

@@ -9,6 +9,7 @@ namespace fmmfft::sim {
 
 int Schedule::push(Op op) {
   op.id = static_cast<int>(ops_.size());
+  op.stage = stage_;
   for (int d : op.deps) FMMFFT_CHECK_MSG(d >= 0 && d < op.id, "dependency on unknown op " << d);
   ops_.push_back(std::move(op));
   return ops_.back().id;
@@ -77,29 +78,40 @@ double Schedule::total_comm_bytes() const {
 SimResult Schedule::simulate(const model::ArchParams& arch) const {
   SimResult res;
   res.timings.resize(ops_.size());
+  res.resource_preds.resize(ops_.size());
 
   // Lane availability. Kernel lanes are keyed by (device, stream). A
   // transfer occupies the source's outbound copy engine and the
   // destination's inbound engine simultaneously (so a device's sends to
   // different peers serialize, as on real copy-engine hardware), plus one
-  // global bus when links_shared (PCIe-style).
-  std::map<std::pair<int, int>, double> kernel_lane;
-  std::map<int, double> out_engine, in_engine;
+  // global bus when links_shared (PCIe-style). Each lane also remembers the
+  // op that last held it, recorded as the successor's resource predecessor.
+  struct Lane {
+    double t = 0;
+    int last = -1;
+  };
+  std::map<std::pair<int, int>, Lane> kernel_lane;
+  std::map<int, Lane> out_engine, in_engine;
   // Node NIC engines: all inter-node traffic of one node serializes here
   // (§7 multi-node extension) — the effect that makes internode systems
   // even more communication-bound and the FMM-FFT relatively stronger.
-  std::map<int, double> nic_out, nic_in;
-  double bus = 0;
+  std::map<int, Lane> nic_out, nic_in;
+  Lane bus;
 
   for (const auto& op : ops_) {
     double ready = 0;
     for (int d : op.deps) ready = std::max(ready, res.timings[(std::size_t)d].end);
 
+    auto& rpreds = res.resource_preds[(std::size_t)op.id];
+    auto note = [&rpreds](const Lane& l) {
+      if (l.last >= 0) rpreds.push_back(l.last);
+    };
+
     double start = ready, dur = 0;
     switch (op.kind) {
       case Op::Kind::Kernel: {
-        double& lane = kernel_lane[{op.device, op.stream}];
-        start = std::max(ready, lane);
+        Lane& lane = kernel_lane[{op.device, op.stream}];
+        start = std::max(ready, lane.t);
         if (op.fixed_seconds > 0)
           dur = op.fixed_seconds;
         else if (op.fixed_seconds < 0)  // sentinel: host sync, arch-resolved
@@ -108,33 +120,43 @@ SimResult Schedule::simulate(const model::ArchParams& arch) const {
           dur = arch.launch_overhead +
                 model::roofline_seconds(op.flops, op.bytes, arch, op.is_double) /
                     arch.efficiency(op.kclass);
-        lane = start + dur;
+        note(lane);
+        lane = {start + dur, op.id};
         res.kernel_busy += dur;
         break;
       }
       case Op::Kind::Comm: {
         const bool inter = !arch.same_node(op.device, op.peer);
-        double& out = out_engine[op.device];
-        double& in = in_engine[op.peer];
-        start = std::max({ready, out, in});
-        if (arch.links_shared && !inter) start = std::max(start, bus);
+        Lane& out = out_engine[op.device];
+        Lane& in = in_engine[op.peer];
+        start = std::max({ready, out.t, in.t});
+        note(out);
+        note(in);
+        if (arch.links_shared && !inter) {
+          start = std::max(start, bus.t);
+          note(bus);
+        }
         if (inter) {
-          double& no = nic_out[arch.node_of(op.device)];
-          double& ni = nic_in[arch.node_of(op.peer)];
-          start = std::max({start, no, ni});
+          Lane& no = nic_out[arch.node_of(op.device)];
+          Lane& ni = nic_in[arch.node_of(op.peer)];
+          start = std::max({start, no.t, ni.t});
+          note(no);
+          note(ni);
           dur = model::internode_link_seconds(op.bytes, arch);
-          no = ni = start + dur;
+          no = ni = {start + dur, op.id};
         } else {
           dur = model::link_seconds(op.bytes, arch);
-          if (arch.links_shared) bus = start + dur;
+          if (arch.links_shared) bus = {start + dur, op.id};
         }
-        out = in = start + dur;
+        out = in = {start + dur, op.id};
         res.comm_busy += dur;
         break;
       }
       case Op::Kind::Meta:
         break;
     }
+    std::sort(rpreds.begin(), rpreds.end());
+    rpreds.erase(std::unique(rpreds.begin(), rpreds.end()), rpreds.end());
     res.timings[(std::size_t)op.id] = {start, start + dur};
     res.label_seconds[op.label] += dur;
     res.total_seconds = std::max(res.total_seconds, start + dur);

@@ -32,6 +32,8 @@ struct Op {
   int id = -1;
   Kind kind = Kind::Meta;
   std::string label;
+  std::string stage;  ///< coarse phase tag for attribution ("fmm", "a2a",
+                      ///< "fft", "sync", "post"); set via Schedule::set_stage
   int device = 0;   ///< executing device (kernel) or source (comm)
   int peer = -1;    ///< destination device (comm only)
   int stream = 0;   ///< compute lane within the device (kernel only)
@@ -52,6 +54,11 @@ struct OpTiming {
 struct SimResult {
   double total_seconds = 0;
   std::vector<OpTiming> timings;                ///< indexed by op id
+  /// Per op: ids of the ops that last occupied each execution resource this
+  /// op uses (its kernel lane, copy engines, shared bus, NICs). Together
+  /// with Op::deps these are every constraint that can bound an op's start,
+  /// so obs::analyze can walk an airtight critical path through the run.
+  std::vector<std::vector<int>> resource_preds;
   std::map<std::string, double> label_seconds;  ///< busy time per label
   double kernel_busy = 0;                       ///< summed kernel durations
   double comm_busy = 0;                         ///< summed transfer durations
@@ -76,6 +83,12 @@ class Schedule {
   /// to ArchParams::sync_overhead at simulation time.
   int add_delay(int device, std::string label, double seconds, std::vector<int> deps);
 
+  /// Stage tag applied to subsequently added ops (Op::stage). Builders mark
+  /// phase boundaries so the analyzer can attribute time per phase; an empty
+  /// tag leaves ops unclassified.
+  void set_stage(std::string stage) { stage_ = std::move(stage); }
+  const std::string& stage() const { return stage_; }
+
   const std::vector<Op>& ops() const { return ops_; }
 
   index_t kernel_launches() const;
@@ -89,6 +102,7 @@ class Schedule {
  private:
   int push(Op op);
   std::vector<Op> ops_;
+  std::string stage_;
 };
 
 }  // namespace fmmfft::sim

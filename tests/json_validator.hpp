@@ -1,0 +1,90 @@
+// Minimal recursive-descent JSON validator shared by the observability
+// tests — enough to prove the exporters emit syntactically valid JSON
+// without a parsing dependency.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace fmmfft::testing {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+  bool valid() {
+    i_ = 0;
+    return value() && (skip_ws(), i_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++i_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') return ++i_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++i_, true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') return ++i_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++i_; i_ < s_.size(); ++i_) {
+      if (s_[i_] == '\\') ++i_;
+      else if (s_[i_] == '"') return ++i_, true;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && (std::isdigit((unsigned char)s_[i_]) || s_[i_] == '-' ||
+                              s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E'))
+      ++i_;
+    return i_ > start;
+  }
+  bool literal(const char* lit) {
+    for (; *lit; ++lit, ++i_)
+      if (i_ >= s_.size() || s_[i_] != *lit) return false;
+    return true;
+  }
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace((unsigned char)s_[i_])) ++i_;
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace fmmfft::testing

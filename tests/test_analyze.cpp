@@ -1,0 +1,242 @@
+// Tests for the timeline analyzer: exact critical path and slack on a
+// hand-built DAG, resource-edge (lane serialization) chains, idle-gap
+// attribution, roofline classification, airtight coverage on the real
+// distributed schedules, and JSON export validity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dist/schedules.hpp"
+#include "json_validator.hpp"
+#include "model/arch.hpp"
+#include "obs/analyze.hpp"
+#include "sim/schedule.hpp"
+
+namespace fmmfft::obs {
+namespace {
+
+using fmm::KernelClass;
+using fmmfft::testing::JsonValidator;
+
+/// 1 flop = 1 s, 1 byte over the link = 1 s, no latency/overheads: every
+/// simulated duration is a small integer or exact binary fraction, so the
+/// analyzer's outputs can be asserted exactly.
+model::ArchParams unit_arch(int g) {
+  model::ArchParams a;
+  a.name = "unit";
+  a.num_devices = g;
+  a.gamma_f = a.gamma_d = 1.0;
+  a.beta_mem = 1e30;  // memory term never binds unless bytes are huge
+  a.link_bw = 1.0;
+  a.link_latency = 0;
+  a.launch_overhead = 0;
+  a.sync_overhead = 0;
+  a.links_shared = false;
+  a.eff_batched_gemm = a.eff_custom = a.eff_gemv = a.eff_fft = 1.0;
+  return a;
+}
+
+// The canonical 5-op DAG:
+//   a: dev0 kernel, 3 s            [0, 3]
+//   b: dev1 kernel, 1 s            [0, 1]
+//   c: comm dev1->dev0, 1.5 s, {b} [1, 2.5]
+//   d: dev0 kernel, 2 s, {a, c}    [3, 5]   (a finishes last -> binds)
+//   e: dev1 kernel, 1 s, {b}       [1, 2]
+// Critical path a -> d, makespan 5 s.
+struct Dag5 {
+  sim::Schedule s;
+  int a, b, c, d, e;
+  Dag5() {
+    s.set_stage("alpha");
+    a = s.add_kernel(0, "a", KernelClass::Custom, 3.0, 0, true, {});
+    b = s.add_kernel(1, "b", KernelClass::Custom, 1.0, 0, true, {});
+    s.set_stage("beta");
+    c = s.add_comm(1, 0, "c", 1.5, {b});
+    d = s.add_kernel(0, "d", KernelClass::Custom, 2.0, 0, true, {a, c});
+    e = s.add_kernel(1, "e", KernelClass::Custom, 1.0, 0, true, {b});
+  }
+};
+
+TEST(Analyze, CriticalPathAndSlackExactOn5OpDag) {
+  Dag5 dag;
+  auto res = dag.s.simulate(unit_arch(2));
+  ASSERT_DOUBLE_EQ(res.total_seconds, 5.0);
+  auto rep = analyze(dag.s, res, unit_arch(2));
+
+  ASSERT_EQ(rep.critical_path, (std::vector<int>{dag.a, dag.d}));
+  EXPECT_DOUBLE_EQ(rep.critical_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(rep.critical_coverage, 1.0);
+
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)dag.a].slack, 0.0);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)dag.d].slack, 0.0);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)dag.b].slack, 0.5);  // via c -> d
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)dag.c].slack, 0.5);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)dag.e].slack, 3.0);
+  EXPECT_TRUE(rep.ops[(std::size_t)dag.a].critical);
+  EXPECT_TRUE(rep.ops[(std::size_t)dag.d].critical);
+  EXPECT_FALSE(rep.ops[(std::size_t)dag.b].critical);
+  EXPECT_FALSE(rep.ops[(std::size_t)dag.c].critical);
+  EXPECT_FALSE(rep.ops[(std::size_t)dag.e].critical);
+
+  // Composition: the whole path is pure compute under unit_arch.
+  EXPECT_DOUBLE_EQ(rep.crit_compute, 5.0);
+  EXPECT_DOUBLE_EQ(rep.crit_bandwidth + rep.crit_launch + rep.crit_comm + rep.crit_sync, 0.0);
+  EXPECT_DOUBLE_EQ(rep.critical_stage_seconds("alpha"), 3.0);
+  EXPECT_DOUBLE_EQ(rep.critical_stage_seconds("beta"), 2.0);
+  EXPECT_DOUBLE_EQ(rep.critical_stage_seconds("a2a"), 0.0);
+}
+
+TEST(Analyze, IdleAttributionAndLaneUtilization) {
+  Dag5 dag;
+  auto res = dag.s.simulate(unit_arch(2));
+  auto rep = analyze(dag.s, res, unit_arch(2));
+
+  ASSERT_EQ(rep.lanes.size(), 3u);  // dev0/s0, dev1/s0, dev1->dev0
+  auto lane = [&](const std::string& name) -> const LaneUtil& {
+    for (const auto& l : rep.lanes)
+      if (l.name == name) return l;
+    ADD_FAILURE() << "no lane " << name;
+    static LaneUtil none;
+    return none;
+  };
+  const auto& d0 = lane("dev0/s0");
+  EXPECT_DOUBLE_EQ(d0.busy, 5.0);
+  EXPECT_DOUBLE_EQ(d0.idle_dep + d0.idle_comm + d0.idle_resource + d0.idle_drain, 0.0);
+  EXPECT_DOUBLE_EQ(d0.utilization(rep.total_seconds), 1.0);
+
+  const auto& d1 = lane("dev1/s0");
+  EXPECT_DOUBLE_EQ(d1.busy, 2.0);
+  EXPECT_DOUBLE_EQ(d1.idle_drain, 3.0);
+
+  // The link sat idle 1 s waiting on kernel b (a dependency, not comm).
+  const auto& link = lane("dev1->dev0");
+  EXPECT_TRUE(link.is_comm);
+  EXPECT_DOUBLE_EQ(link.busy, 1.5);
+  EXPECT_DOUBLE_EQ(link.idle_dep, 1.0);
+  EXPECT_DOUBLE_EQ(link.idle_drain, 2.5);
+  EXPECT_EQ(rep.ops[(std::size_t)dag.c].wait, Wait::Dep);
+
+  // busy + idle buckets tile the makespan on every lane.
+  for (const auto& l : rep.lanes)
+    EXPECT_DOUBLE_EQ(l.busy + l.idle_dep + l.idle_comm + l.idle_resource + l.idle_drain,
+                     rep.total_seconds)
+        << l.name;
+
+  // Per-device aggregates.
+  EXPECT_DOUBLE_EQ(rep.device_utilization(0), 1.0);
+  EXPECT_DOUBLE_EQ(rep.device_utilization(1), 0.4);
+}
+
+TEST(Analyze, ResourceEdgesFormCriticalPath) {
+  // Two independent kernels on one lane: the second's only constraint is
+  // lane occupancy, and the chain must still be airtight.
+  sim::Schedule s;
+  int k1 = s.add_kernel(0, "k1", KernelClass::Custom, 2.0, 0, true, {});
+  int k2 = s.add_kernel(0, "k2", KernelClass::Custom, 3.0, 0, true, {});
+  auto res = s.simulate(unit_arch(1));
+  auto rep = analyze(s, res, unit_arch(1));
+  EXPECT_EQ(rep.critical_path, (std::vector<int>{k1, k2}));
+  EXPECT_DOUBLE_EQ(rep.critical_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)k1].slack, 0.0);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)k2].slack, 0.0);
+}
+
+TEST(Analyze, CommOnCriticalPathAndWaitComm) {
+  // producer(dev1) -> comm -> consumer(dev0): the consumer's gap is
+  // attributed to the transfer, and the path contains all three ops.
+  sim::Schedule s;
+  int p = s.add_kernel(1, "prod", KernelClass::Custom, 1.0, 0, true, {});
+  int c = s.add_comm(1, 0, "xfer", 2.0, {p});
+  int k = s.add_kernel(0, "cons", KernelClass::Custom, 1.0, 0, true, {c});
+  auto res = s.simulate(unit_arch(2));
+  auto rep = analyze(s, res, unit_arch(2));
+  EXPECT_EQ(rep.critical_path, (std::vector<int>{p, c, k}));
+  EXPECT_DOUBLE_EQ(rep.crit_comm, 2.0);
+  EXPECT_DOUBLE_EQ(rep.crit_compute, 2.0);
+  EXPECT_EQ(rep.ops[(std::size_t)k].wait, Wait::Comm);
+  EXPECT_DOUBLE_EQ(rep.ops[(std::size_t)k].gap, 3.0);
+}
+
+TEST(Analyze, RooflineClassification) {
+  auto arch = unit_arch(2);
+  arch.beta_mem = 1.0;       // 1 byte/s memory: bandwidth term visible
+  arch.launch_overhead = 10.0;
+  arch.link_latency = 5.0;
+  sim::Schedule s;
+  int compute = s.add_kernel(0, "c", KernelClass::Custom, 100.0, 1.0, true, {});
+  int bw = s.add_kernel(0, "b", KernelClass::Custom, 1.0, 100.0, true, {});
+  int launch = s.add_kernel(0, "l", KernelClass::Custom, 1.0, 1.0, true, {});
+  int link = s.add_comm(0, 1, "x", 100.0, {});
+  int lat = s.add_comm(1, 0, "t", 1.0, {});
+  int sync = s.add_delay(0, "s", 1.0, {});
+  auto res = s.simulate(arch);
+  auto rep = analyze(s, res, arch);
+  EXPECT_EQ(rep.ops[(std::size_t)compute].bound, Bound::Compute);
+  EXPECT_EQ(rep.ops[(std::size_t)bw].bound, Bound::Bandwidth);
+  EXPECT_EQ(rep.ops[(std::size_t)launch].bound, Bound::Launch);
+  EXPECT_EQ(rep.ops[(std::size_t)link].bound, Bound::Link);
+  EXPECT_EQ(rep.ops[(std::size_t)lat].bound, Bound::Latency);
+  EXPECT_EQ(rep.ops[(std::size_t)sync].bound, Bound::Sync);
+  EXPECT_EQ(rep.bound_census.at("compute").count, 1);
+  EXPECT_EQ(rep.bound_census.at("sync").count, 1);
+}
+
+TEST(Analyze, AirtightCoverageOnRealSchedules) {
+  // Acceptance: on a 2-device run the critical path + idle attribution
+  // account for >= 95% of total_seconds. With resource edges recorded the
+  // walk is airtight, so coverage is 1.0 up to rounding.
+  const fmm::Params prm{index_t(1) << 27, 256, 64, 3, 16};
+  const model::Workload w{prm.n, true, true};
+  const auto arch = model::p100_nvlink(2);
+  for (const auto& sched :
+       {dist::fmmfft_schedule(prm, w, 2), dist::baseline1d_schedule(prm.n, w, 2)}) {
+    auto res = sched.simulate(arch);
+    auto rep = analyze(sched, res, arch);
+    EXPECT_GE(rep.critical_coverage, 0.95);
+    EXPECT_NEAR(rep.critical_coverage, 1.0, 1e-9);
+    // The five composition buckets are a complete account of the path.
+    EXPECT_NEAR(rep.crit_compute + rep.crit_bandwidth + rep.crit_launch + rep.crit_comm +
+                    rep.crit_sync,
+                rep.critical_seconds, 1e-9 * rep.critical_seconds);
+    // Every op got a stage tag from the builders.
+    EXPECT_EQ(rep.critical_by_stage.count("(untagged)"), 0u);
+    // Idle attribution tiles every lane.
+    for (const auto& l : rep.lanes)
+      EXPECT_NEAR(l.busy + l.idle_dep + l.idle_comm + l.idle_resource + l.idle_drain,
+                  rep.total_seconds, 1e-9 * rep.total_seconds)
+          << l.name;
+  }
+}
+
+TEST(Analyze, BaselineAllToAllDominatesCriticalPathFmmFftDoesNot) {
+  // §5.3: the baseline's three transposes sit on its critical path; the
+  // FMM-FFT's single transpose is largely hidden under compute.
+  const fmm::Params prm{index_t(1) << 27, 256, 64, 3, 16};
+  const model::Workload w{prm.n, true, true};
+  const auto arch = model::p100_nvlink(2);
+  auto fs = dist::fmmfft_schedule(prm, w, 2);
+  auto bs = dist::baseline1d_schedule(prm.n, w, 2);
+  auto frep = analyze(fs, fs.simulate(arch), arch);
+  auto brep = analyze(bs, bs.simulate(arch), arch);
+  const double ffrac = frep.critical_stage_seconds("a2a") / frep.total_seconds;
+  const double bfrac = brep.critical_stage_seconds("a2a") / brep.total_seconds;
+  EXPECT_GT(bfrac, 0.3) << "baseline should be transpose-dominated";
+  EXPECT_LT(ffrac, bfrac);
+}
+
+TEST(Analyze, ReportJsonIsValidAndTextNonEmpty) {
+  Dag5 dag;
+  auto res = dag.s.simulate(unit_arch(2));
+  auto rep = analyze(dag.s, res, unit_arch(2));
+  std::ostringstream os;
+  rep.write_json(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("fmmfft.report.v1"), std::string::npos);
+  EXPECT_NE(os.str().find("\"critical_path\""), std::string::npos);
+  const std::string txt = rep.to_string();
+  EXPECT_NE(txt.find("critical path"), std::string::npos);
+  EXPECT_NE(txt.find("device utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmmfft::obs

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "dist/dfmmfft.hpp"
+#include "json_validator.hpp"
 #include "obs/compare.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_writer.hpp"
@@ -51,86 +52,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace fmmfft::obs {
 namespace {
 
-/// Minimal recursive-descent JSON validator — enough to prove the exporters
-/// emit syntactically valid JSON without a parsing dependency.
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& s) : s_(s) {}
-  bool valid() {
-    i_ = 0;
-    return value() && (skip_ws(), i_ == s_.size());
-  }
-
- private:
-  bool value() {
-    skip_ws();
-    if (i_ >= s_.size()) return false;
-    switch (s_[i_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++i_;  // '{'
-    skip_ws();
-    if (peek() == '}') return ++i_, true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++i_;
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++i_; continue; }
-      if (peek() == '}') return ++i_, true;
-      return false;
-    }
-  }
-  bool array() {
-    ++i_;  // '['
-    skip_ws();
-    if (peek() == ']') return ++i_, true;
-    for (;;) {
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++i_; continue; }
-      if (peek() == ']') return ++i_, true;
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    for (++i_; i_ < s_.size(); ++i_) {
-      if (s_[i_] == '\\') ++i_;
-      else if (s_[i_] == '"') return ++i_, true;
-    }
-    return false;
-  }
-  bool number() {
-    const std::size_t start = i_;
-    while (i_ < s_.size() && (std::isdigit((unsigned char)s_[i_]) || s_[i_] == '-' ||
-                              s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E'))
-      ++i_;
-    return i_ > start;
-  }
-  bool literal(const char* lit) {
-    for (; *lit; ++lit, ++i_)
-      if (i_ >= s_.size() || s_[i_] != *lit) return false;
-    return true;
-  }
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace((unsigned char)s_[i_])) ++i_;
-  }
-  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+using fmmfft::testing::JsonValidator;
 
 /// RAII: enable the requested facilities on a clean slate, disable + wipe on
 /// exit so tests don't leak state into each other.
@@ -254,6 +176,40 @@ TEST(Metrics, HistogramBuckets) {
   EXPECT_EQ(h.bucket(11), 1u);
 }
 
+TEST(Metrics, HistogramPercentiles) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+
+  // 100 identical samples land in bucket 1 = [1, 2): percentiles interpolate
+  // linearly across that bucket.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 1.95);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 1.99);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 2.0);
+
+  // Two buckets, 50/50 split: the median sits exactly at the boundary and
+  // the tail percentiles walk into the upper bucket [4, 8).
+  Histogram h2;
+  for (int i = 0; i < 50; ++i) h2.observe(1.0);  // bucket 1: [1, 2)
+  for (int i = 0; i < 50; ++i) h2.observe(4.0);  // bucket 3: [4, 8)
+  EXPECT_DOUBLE_EQ(h2.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(h2.percentile(75), 6.0);
+  EXPECT_DOUBLE_EQ(h2.percentile(99), 4.0 + 0.98 * 4.0);
+
+  // The JSON export carries the percentile summary.
+  ObsSession s(false, true);
+  for (int i = 0; i < 4; ++i) Metrics::global().histogram("pct.h").observe(1.0);
+  std::ostringstream os;
+  Metrics::global().write_json(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"p95\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+}
+
 TEST(Json, ExportersEmitValidJson) {
   ObsSession s(true, true);
   {
@@ -274,6 +230,61 @@ TEST(Json, ExportersEmitValidJson) {
   EXPECT_NE(metrics.str().find("json.count"), std::string::npos);
   EXPECT_NE(metrics.str().find("json.gauge"), std::string::npos);
   EXPECT_NE(metrics.str().find("json.hist"), std::string::npos);
+}
+
+TEST(Json, ControlCharsAndNonAsciiBytesInLabels) {
+  ObsSession s(true, false);
+  {
+    // Control characters must come out as \u00XX escapes; bytes >= 0x80
+    // (e.g. UTF-8 multibyte sequences) must pass through untouched.
+    FMMFFT_SPAN("ctl:", std::string("\x01\x02\x1f bell\x07"));
+    FMMFFT_SPAN("utf8:", std::string("\xc3\xa9\xe2\x86\x92"));  // é→
+  }
+  std::ostringstream os;
+  Recorder::global().write_chrome_trace(os);
+  const std::string t = os.str();
+  EXPECT_TRUE(JsonValidator(t).valid()) << t;
+  EXPECT_NE(t.find("\\u0001"), std::string::npos);
+  EXPECT_NE(t.find("\\u0002"), std::string::npos);
+  EXPECT_NE(t.find("\\u001f"), std::string::npos);
+  EXPECT_NE(t.find("\\u0007"), std::string::npos);
+  EXPECT_NE(t.find("\xc3\xa9"), std::string::npos);
+  // No raw control byte may survive into the output.
+  for (const char c : t) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Json, EmptyTraceDumpIsAnEmptyArray) {
+  ObsSession s(true, false);
+  std::ostringstream os;
+  Recorder::global().write_chrome_trace(os);
+  EXPECT_EQ(os.str(), "[]");
+  EXPECT_TRUE(JsonValidator(os.str()).valid());
+}
+
+TEST(Json, ConcurrentRecordWhileDumpStaysValid) {
+  ObsSession s(true, false);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t)
+    ts.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        FMMFFT_SPAN("churn");
+      }
+    });
+  // Dump repeatedly while the writers churn: every snapshot must be
+  // self-consistent (only completed spans appear) and valid JSON.
+  std::size_t prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::ostringstream os;
+    Recorder::global().write_chrome_trace(os);
+    EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+    const auto evs = Recorder::global().snapshot();
+    EXPECT_GE(evs.size(), prev);  // events only accumulate
+    prev = evs.size();
+    for (const auto& e : evs) EXPECT_GE(e.end_ns, e.start_ns);
+  }
+  stop.store(true);
+  for (auto& t : ts) t.join();
 }
 
 TEST(Disabled, HooksDoNotAllocate) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_runner output against the committed baseline.
+
+    tools/bench_compare.py BENCH_fmmfft.json fresh.json [--tolerance 0.15]
+
+Fails (exit 1) when any config's fmmfft/baseline makespan regressed by more
+than the tolerance, when a baseline config disappeared, or on a schema
+mismatch. Improvements and new configs are reported but pass. The simulated
+timings are deterministic, so the tolerance only absorbs intentional small
+model recalibrations; refresh the baseline for anything larger:
+
+    build/bench/bench_runner BENCH_fmmfft.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "fmmfft.bench.v1"
+# Per-config scalar metrics gated on relative increase (higher = worse).
+GATED = ["fmmfft_seconds", "baseline_seconds"]
+# Sanity floor: the analyzer's critical path must stay a complete account.
+MIN_COVERAGE = 0.95
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"{path}: schema {data.get('schema')!r} != expected {SCHEMA!r}")
+    return {c["name"]: c for c in data["configs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max allowed relative increase (default 0.15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    rows = []
+    for name, b in base.items():
+        f = fresh.get(name)
+        if f is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        for metric in GATED:
+            old, new = b[metric], f[metric]
+            rel = (new - old) / old if old > 0 else 0.0
+            rows.append((name, metric, old, new, rel))
+            if rel > args.tolerance:
+                failures.append(
+                    f"{name}: {metric} regressed {rel:+.1%} "
+                    f"({old * 1e3:.3f} ms -> {new * 1e3:.3f} ms)")
+        cov = f.get("critical", {}).get("coverage", 0.0)
+        if cov < MIN_COVERAGE:
+            failures.append(f"{name}: critical-path coverage {cov:.3f} < {MIN_COVERAGE}")
+
+    for name in fresh.keys() - base.keys():
+        print(f"note: new config {name} (not in baseline; commit a refresh to gate it)")
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'config':<{width}}  {'metric':<17} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for name, metric, old, new, rel in rows:
+        print(f"{name:<{width}}  {metric:<17} {old * 1e3:>10.3f}ms {new * 1e3:>10.3f}ms "
+              f"{rel:>+7.1%}")
+
+    if failures:
+        print(f"\nREGRESSION ({len(failures)} failure(s), tolerance {args.tolerance:.0%}):")
+        for msg in failures:
+            print(f"  {msg}")
+        sys.exit(1)
+    print(f"\nbench compare OK ({len(base)} configs within {args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

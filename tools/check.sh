@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build (warnings surfaced), ctest, and a smoke
-# test that the observability exporters produce loadable JSON.
+# Tier-1 gate: configure + build (warnings surfaced), ctest, a smoke test
+# that the observability exporters produce loadable JSON, and a benchmark
+# regression check against the committed BENCH_fmmfft.json baseline.
 #
 #   tools/check.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -52,6 +53,17 @@ print(f"trace OK: {len(trace)} events, {len(metrics['counters'])} counters")
 EOF
 else
   echo "python3 not found; skipped JSON validation (files are non-empty)"
+fi
+
+echo "== bench regression gate =="
+FRESH=$(mktemp --suffix=.json)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$FRESH"' EXIT
+"$BUILD/bench/bench_runner" "$FRESH" >/dev/null
+if command -v python3 >/dev/null; then
+  python3 tools/bench_compare.py BENCH_fmmfft.json "$FRESH" --tolerance 0.15
+else
+  echo "python3 not found; skipped bench comparison (runner output is non-empty)"
+  [ -s "$FRESH" ] || { echo "BENCH FAILED: $FRESH is empty"; exit 1; }
 fi
 
 echo "== all checks passed =="
