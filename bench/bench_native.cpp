@@ -1,0 +1,170 @@
+// Native-throughput benchmark track: measure what the host kernels actually
+// sustain, as a complement to the simulated BENCH_fmmfft.json trajectory
+// (which by construction cannot observe native kernel speedups).
+//
+// Emits schema-versioned JSON (fmmfft.bench.native.v1):
+//   * GEMM GFLOP/s — square sizes plus the FMM's tall-skinny batched shapes
+//     (m = C·P rows against Q/M_L-sized operators, §4.4–4.5)
+//   * batched FFT points/s — pow2 and Bluestein sizes at FMM-shaped batches
+//   * blocked transpose GB/s — the Plan2D / Π_{M,P} data-movement primitive
+//   * end-to-end single-node FmmFft wall seconds, serial and with the pool
+//
+// Wall-clock numbers are machine- and load-dependent, so the committed
+// BENCH_native.json baseline is compared report-only by
+// tools/bench_compare.py --native (schema and structure hard-fail, timings
+// never do). Refresh with:  build/bench/bench_native BENCH_native.json
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "blas/blas.hpp"
+#include "common/permute.hpp"
+#include "common/table.hpp"
+#include "common/threadpool.hpp"
+#include "core/fmmfft.hpp"
+#include "fft/fft.hpp"
+#include "fmm/params.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace {
+
+using namespace fmmfft;
+
+struct Result {
+  std::string name;
+  std::string metric;  // "gflops" | "mpoints_per_s" | "gbytes_per_s" | "seconds"
+  double value;
+  double seconds;  // best wall time of one rep, always recorded
+};
+
+std::vector<Result> g_results;
+
+void record(const std::string& name, const std::string& metric, double value, double seconds) {
+  g_results.push_back({name, metric, value, seconds});
+}
+
+template <typename T>
+void bench_gemm_single(const std::string& name, index_t m, index_t n, index_t k) {
+  Buffer<T> a(m * k), b(k * n), c(m * n);
+  fill_uniform(a.data(), m * k, 1);
+  fill_uniform(b.data(), k * n, 2);
+  double sec = time_best([&] {
+    blas::gemm<T>(blas::Op::N, blas::Op::N, m, n, k, T(1), a.data(), m, b.data(), k, T(0),
+                  c.data(), m);
+  });
+  record(name, "gflops", blas::gemm_flops(m, n, k) / sec / 1e9, sec);
+}
+
+template <typename T>
+void bench_gemm_batched(const std::string& name, index_t m, index_t n, index_t k,
+                        index_t batch) {
+  Buffer<T> a(m * k * batch), b(k * n * batch), c(m * n * batch);
+  fill_uniform(a.data(), m * k * batch, 3);
+  fill_uniform(b.data(), k * n * batch, 4);
+  double sec = time_best([&] {
+    blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, m, n, k, T(1), a.data(), m, m * k,
+                                  b.data(), k, k * n, T(0), c.data(), m, m * n, batch);
+  });
+  record(name, "gflops", double(batch) * blas::gemm_flops(m, n, k) / sec / 1e9, sec);
+}
+
+template <typename T>
+void bench_fft_batched(const std::string& name, index_t n, index_t batch) {
+  Buffer<std::complex<T>> data(n * batch);
+  fill_uniform(data.data(), n * batch, 5);
+  fft::Plan1D<T> plan(n);
+  double sec = time_best(
+      [&] { plan.execute_batched(data.data(), batch, fft::Direction::Forward); });
+  record(name, "mpoints_per_s", double(n) * double(batch) / sec / 1e6, sec);
+}
+
+void bench_transpose(const std::string& name, index_t rows, index_t cols) {
+  using Cx = std::complex<double>;
+  Buffer<Cx> x(rows * cols), y(rows * cols);
+  fill_uniform(x.data(), rows * cols, 6);
+  double sec = time_best([&] { transpose_blocked(x.data(), y.data(), rows, cols); });
+  // Read + write of the full array.
+  record(name, "gbytes_per_s", 2.0 * double(rows) * double(cols) * sizeof(Cx) / sec / 1e9, sec);
+}
+
+void bench_fmmfft_e2e() {
+  // FMM-shaped single-node run: N=2^16, P=64 interleaved FMMs of M=1024,
+  // M_L=16 (L=6), Q=14 — complex double, the paper's CD configuration.
+  const fmm::Params prm{index_t(1) << 16, 64, 16, 2, 14};
+  using Cx = std::complex<double>;
+  core::FmmFft<Cx> plan(prm);
+  Buffer<Cx> in(prm.n), out(prm.n);
+  fill_uniform(in.data(), prm.n, 7);
+
+  {
+    ThreadPool::ScopedSerial serial;
+    double sec = time_best([&] { plan.execute(in.data(), out.data()); });
+    record("fmmfft_e2e_n16_serial", "seconds", sec, sec);
+  }
+  double sec = time_best([&] { plan.execute(in.data(), out.data()); });
+  record("fmmfft_e2e_n16_pool", "seconds", sec, sec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_native.json";
+  bench::print_header("Native throughput track",
+                      "host kernel rates behind the §4 stages (wall clock, this machine)");
+
+  // GEMM: square (Fig. 1 regime) and the FMM's batched tall-skinny shapes.
+  bench_gemm_single<double>("gemm_f64_256", 256, 256, 256);
+  bench_gemm_single<double>("gemm_f64_512", 512, 512, 512);
+  bench_gemm_single<float>("gemm_f32_256", 256, 256, 256);
+  // S2M/L2T shape: C·P rows × Q coeffs × M_L leaf points (C=2, P=256, Q=18,
+  // M_L=8), one problem per leaf box.
+  bench_gemm_batched<double>("gemm_f64_batched_s2m", 512, 18, 8, 64);
+  // M2M/L2L shape: the flattened two-child operator, k = 2Q.
+  bench_gemm_batched<double>("gemm_f64_batched_m2m", 512, 18, 36, 32);
+
+  // Batched FFTs at the 2D-FFT stage's shapes: many size-P lines, fewer
+  // size-M lines, plus a Bluestein (non-pow2) size.
+  bench_fft_batched<double>("fft_f64_512x256", 512, 256);
+  bench_fft_batched<double>("fft_f64_4096x64", 4096, 64);
+  bench_fft_batched<double>("fft_f64_16384x16", 16384, 16);
+  bench_fft_batched<float>("fft_f32_4096x64", 4096, 64);
+  bench_fft_batched<double>("fft_f64_blue1000x64", 1000, 64);
+
+  // The Π_{M,P} permutation / Plan2D transpose primitive.
+  bench_transpose("transpose_c64_1024", 1024, 1024);
+
+  bench_fmmfft_e2e();
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::JsonWriter jw(os);
+  jw.begin_object();
+  jw.kv("schema", "fmmfft.bench.native.v1");
+  jw.kv("threads", double(ThreadPool::global().workers()));
+  jw.key("benches");
+  jw.begin_array();
+  for (const Result& r : g_results) {
+    jw.begin_object();
+    jw.kv("name", r.name);
+    jw.kv("metric", r.metric);
+    jw.kv("value", r.value);
+    jw.kv("seconds", r.seconds);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  os << "\n";
+
+  Table t({"bench", "metric", "value", "best rep [ms]"});
+  for (const Result& r : g_results)
+    t.row().col(r.name).col(r.metric).col(r.value, 2).col(r.seconds * 1e3, 3);
+  t.print();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -42,4 +42,8 @@ inline double gemm_flops(index_t m, index_t n, index_t k) {
   return 2.0 * double(m) * double(n) * double(k);
 }
 
+/// Which microkernel the build selected: "vec512" / "vec256" / "vec128"
+/// (GCC/Clang vector extensions at that width) or "scalar" (fallback).
+const char* simd_label();
+
 }  // namespace fmmfft::blas

@@ -5,9 +5,18 @@
 // column-major micropanels of width NR, and an MR×NR register microkernel
 // runs over the packed data. Edges are zero-padded in the packs so the
 // microkernel is branch-free; stores mask the valid region.
+//
+// The microkernel is vectorized with portable GCC/Clang vector extensions
+// (one FMA-friendly accumulate per column vector per k step); a scalar
+// kernel with identical accumulation order is selected at compile time on
+// toolchains without vector support. Large single GEMMs additionally
+// shard their MC macro-loop across the pool (the batched entry point was
+// already pool-parallel), with bit-identical results at any thread count:
+// each MC×NR block is computed by exactly one task in a fixed order.
 #include "blas/blas.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -25,6 +34,49 @@ constexpr index_t NR = 4;
 constexpr index_t MC = 64;
 constexpr index_t NC = 256;
 constexpr index_t KC = 256;
+
+// ---------------------------------------------------------------------------
+// Vector-extension dispatch. The widest ISA-native vector, capped at MR
+// lanes so one micropanel k-slice is at most a whole number of vectors.
+#if !defined(FMMFFT_NO_SIMD) && (defined(__GNUC__) || defined(__clang__)) &&                   \
+    (defined(__AVX512F__) || defined(__AVX__) || defined(__SSE2__) || defined(__ARM_NEON) ||   \
+     defined(__VSX__) || defined(__ALTIVEC__))
+#define FMMFFT_GEMM_SIMD 1
+#if defined(__AVX512F__)
+#define FMMFFT_VBYTES_F 32  // 8 float lanes == MR; 64B would exceed the tile height
+#define FMMFFT_VBYTES_D 64
+#elif defined(__AVX__)
+#define FMMFFT_VBYTES_F 32
+#define FMMFFT_VBYTES_D 32
+#else
+#define FMMFFT_VBYTES_F 16
+#define FMMFFT_VBYTES_D 16
+#endif
+
+typedef float vfloat_t __attribute__((vector_size(FMMFFT_VBYTES_F)));
+typedef double vdouble_t __attribute__((vector_size(FMMFFT_VBYTES_D)));
+
+template <typename T>
+struct VecTraits;
+template <>
+struct VecTraits<float> {
+  using vec = vfloat_t;
+};
+template <>
+struct VecTraits<double> {
+  using vec = vdouble_t;
+};
+
+const char* simd_label_impl() {
+  switch (FMMFFT_VBYTES_D) {
+    case 64: return "vec512";
+    case 32: return "vec256";
+    default: return "vec128";
+  }
+}
+#else
+const char* simd_label_impl() { return "scalar"; }
+#endif
 
 template <typename T>
 inline T at(const T* a, index_t lda, Op trans, index_t i, index_t j) {
@@ -66,8 +118,52 @@ void pack_b(const T* b, index_t ldb, Op trans, index_t k0, index_t j0, index_t k
   }
 }
 
-/// MR×NR microkernel over packed panels: acc = sum_k apanel[k]·bpanel[k]^T,
-/// then C[valid] += alpha * acc (C was pre-scaled by beta once per gemm).
+/// Masked accumulate of the finished register tile into C:
+/// C[valid] += alpha * acc (C was pre-scaled by beta once per gemm).
+template <typename T>
+inline void store_tile(const T* acc, T alpha, T* c, index_t ldc, index_t mr, index_t nr) {
+  if (mr == MR && nr == NR) {
+    for (index_t j = 0; j < NR; ++j)
+      for (index_t i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
+  } else {
+    for (index_t j = 0; j < nr; ++j)
+      for (index_t i = 0; i < mr; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
+  }
+}
+
+/// MR×NR microkernel over packed panels: acc = sum_k apanel[k]·bpanel[k]^T.
+#ifdef FMMFFT_GEMM_SIMD
+template <typename T>
+void microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc, index_t mr,
+                 index_t nr) {
+  using V = typename VecTraits<T>::vec;
+  constexpr index_t VL = index_t(sizeof(V) / sizeof(T));
+  constexpr index_t NV = MR / VL;  // vectors per register-tile column
+  static_assert(MR % VL == 0);
+  // One accumulator vector per (row-vector, column); a k step is NV aligned
+  // loads of A, NR broadcasts of B, and NV*NR fused multiply-adds. Rows are
+  // independent accumulators, so vectorizing over i keeps each element's
+  // addition order identical to the scalar kernel.
+  V acc[NV][NR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* a = ap + k * MR;  // micropanel k-slices stay vector-aligned
+    const T* b = bp + k * NR;
+    V av[NV];
+    for (index_t v = 0; v < NV; ++v)
+      av[v] = *reinterpret_cast<const V*>(a + v * VL);
+    for (index_t j = 0; j < NR; ++j) {
+      V bj;
+      for (index_t l = 0; l < VL; ++l) bj[l] = b[j];  // lowered to a broadcast
+      for (index_t v = 0; v < NV; ++v) acc[v][j] += av[v] * bj;
+    }
+  }
+  alignas(kAlignment) T tile[MR * NR];
+  for (index_t j = 0; j < NR; ++j)
+    for (index_t v = 0; v < NV; ++v)
+      *reinterpret_cast<V*>(tile + j * MR + v * VL) = acc[v][j];
+  store_tile(tile, alpha, c, ldc, mr, nr);
+}
+#else
 template <typename T>
 void microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ldc, index_t mr,
                  index_t nr) {
@@ -80,14 +176,9 @@ void microkernel(index_t kc, T alpha, const T* ap, const T* bp, T* c, index_t ld
       for (index_t i = 0; i < MR; ++i) acc[i + j * MR] += a[i] * bj;
     }
   }
-  if (mr == MR && nr == NR) {
-    for (index_t j = 0; j < NR; ++j)
-      for (index_t i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
-  } else {
-    for (index_t j = 0; j < nr; ++j)
-      for (index_t i = 0; i < mr; ++i) c[i + j * ldc] += alpha * acc[i + j * MR];
-  }
+  store_tile(acc, alpha, c, ldc, mr, nr);
 }
+#endif
 
 template <typename T>
 struct Workspace {
@@ -118,31 +209,58 @@ void gemm_impl(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, c
   }
   if (k == 0 || alpha == T(0)) return;
 
+  // One MC-block of the macro-loop: pack the A block into this thread's
+  // workspace and run the microkernel grid against an already-packed B.
+  auto run_mc_block = [&](index_t i0, index_t j0, index_t k0, index_t nc, index_t kc,
+                          const T* bpack) {
+    const index_t mc = std::min(MC, m - i0);
+    T* apack = workspace<T>().apack.data();
+    pack_a(a, lda, transa, i0, k0, mc, kc, apack);
+    const index_t np = ceil_div(mc, MR), nq = ceil_div(nc, NR);
+    for (index_t q = 0; q < nq; ++q) {
+      const index_t nr = std::min(NR, nc - q * NR);
+      for (index_t p = 0; p < np; ++p) {
+        const index_t mr = std::min(MR, mc - p * MR);
+        microkernel(kc, alpha, apack + p * MR * kc, bpack + q * NR * kc,
+                    c + (i0 + p * MR) + (j0 + q * NR) * ldc, ldc, mr, nr);
+      }
+    }
+  };
+
+  // Shard the MC loop across the pool when there are enough blocks to
+  // amortize the fork/join. Each worker packs A into its own thread-local
+  // workspace; the B panel packed by the caller is shared read-only. The
+  // k0 loop stays serial, so every C block accumulates its KC panels in
+  // the same order at any thread count (bit-identical results).
   auto& ws = workspace<T>();
+  const index_t mc_blocks = ceil_div(m, MC);
+  const bool shard_mc = mc_blocks >= 4 && !ThreadPool::in_task() &&
+                        !ThreadPool::serial_forced() && ThreadPool::global().workers() > 1;
   for (index_t j0 = 0; j0 < n; j0 += NC) {
     index_t nc = std::min(NC, n - j0);
     for (index_t k0 = 0; k0 < k; k0 += KC) {
       index_t kc = std::min(KC, k - k0);
       pack_b(b, ldb, transb, k0, j0, kc, nc, ws.bpack.data());
-      for (index_t i0 = 0; i0 < m; i0 += MC) {
-        index_t mc = std::min(MC, m - i0);
-        pack_a(a, lda, transa, i0, k0, mc, kc, ws.apack.data());
-        index_t np = ceil_div(mc, MR), nq = ceil_div(nc, NR);
-        for (index_t q = 0; q < nq; ++q) {
-          index_t nr = std::min(NR, nc - q * NR);
-          for (index_t p = 0; p < np; ++p) {
-            index_t mr = std::min(MR, mc - p * MR);
-            microkernel(kc, alpha, ws.apack.data() + p * MR * kc,
-                        ws.bpack.data() + q * NR * kc,
-                        c + (i0 + p * MR) + (j0 + q * NR) * ldc, ldc, mr, nr);
-          }
-        }
+      if (shard_mc) {
+        const T* bpack = ws.bpack.data();
+        parallel_for(
+            mc_blocks,
+            [&](index_t blk0, index_t blk1) {
+              for (index_t blk = blk0; blk < blk1; ++blk)
+                run_mc_block(blk * MC, j0, k0, nc, kc, bpack);
+            },
+            /*grain=*/1);
+      } else {
+        for (index_t i0 = 0; i0 < m; i0 += MC)
+          run_mc_block(i0, j0, k0, nc, kc, ws.bpack.data());
       }
     }
   }
 }
 
 }  // namespace
+
+const char* simd_label() { return simd_label_impl(); }
 
 template <typename T>
 void gemm(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const T* a,

@@ -1,0 +1,128 @@
+// Thread-local pooled scratch arena.
+//
+// Hot paths (FFT plan execution, strided gathers) need short-lived aligned
+// workspaces. Allocating per call is too slow, and storing scratch inside a
+// plan makes concurrent execute() on one shared plan a data race — the bug
+// the batch-parallel execution paths would otherwise hit. ScratchBlock<T>
+// leases a 64-byte-aligned block from a per-thread free list: checkout and
+// release are O(free-list length) with no locking, blocks are reused across
+// calls, and each thread's blocks are its own, so shared plans become
+// safely executable from any number of threads.
+//
+// Blocks are NOT zero-initialized (unlike Buffer): a scratch lease is for
+// code that fully writes before it reads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft {
+
+/// Per-thread free list of aligned raw blocks. Access via ScratchArena::local().
+class ScratchArena {
+ public:
+  static ScratchArena& local() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+  ~ScratchArena() {
+    for (const Slab& s : free_) ::operator delete[](s.p, std::align_val_t(kAlignment));
+  }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Smallest cached block with capacity >= bytes, or a fresh allocation
+  /// (rounded up to a power of two so sizes re-cluster into few classes).
+  void* checkout(std::size_t bytes, std::size_t* capacity) {
+    FMMFFT_CHECK(bytes > 0);
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i)
+      if (free_[i].cap >= bytes && (best == free_.size() || free_[i].cap < free_[best].cap))
+        best = i;
+    if (best != free_.size()) {
+      Slab s = free_[best];
+      free_[best] = free_.back();
+      free_.pop_back();
+      *capacity = s.cap;
+      return s.p;
+    }
+    std::size_t cap = kMinBlock;
+    while (cap < bytes) cap *= 2;
+    *capacity = cap;
+    return ::operator new[](cap, std::align_val_t(kAlignment));
+  }
+
+  void release(void* p, std::size_t capacity) {
+    if (free_.size() >= kMaxCached) {
+      // Evict the smallest cached slab: large FFT scratch is the expensive
+      // thing to reallocate, so keep big blocks warm.
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < free_.size(); ++i)
+        if (free_[i].cap < free_[victim].cap) victim = i;
+      ::operator delete[](free_[victim].p, std::align_val_t(kAlignment));
+      free_[victim] = free_.back();
+      free_.pop_back();
+    }
+    free_.push_back({p, capacity});
+  }
+
+  std::size_t cached_blocks() const { return free_.size(); }
+  std::size_t cached_bytes() const {
+    std::size_t total = 0;
+    for (const Slab& s : free_) total += s.cap;
+    return total;
+  }
+
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kMaxCached = 16;
+
+ private:
+  ScratchArena() = default;
+  struct Slab {
+    void* p;
+    std::size_t cap;
+  };
+  std::vector<Slab> free_;
+};
+
+/// RAII lease of n elements of trivially-destructible T from the calling
+/// thread's arena. Contents are uninitialized. Must be released on the
+/// thread that checked it out (enforced by construction: the lease is a
+/// scoped stack object, and worker chunks run entirely on one thread).
+template <typename T>
+class ScratchBlock {
+ public:
+  explicit ScratchBlock(index_t n) : n_(n) {
+    static_assert(std::is_trivially_destructible_v<T>, "scratch blocks skip destructors");
+    FMMFFT_CHECK(n > 0);
+    p_ = static_cast<T*>(
+        ScratchArena::local().checkout(static_cast<std::size_t>(n) * sizeof(T), &cap_));
+  }
+  ~ScratchBlock() { ScratchArena::local().release(p_, cap_); }
+
+  ScratchBlock(const ScratchBlock&) = delete;
+  ScratchBlock& operator=(const ScratchBlock&) = delete;
+
+  T* data() { return p_; }
+  const T* data() const { return p_; }
+  index_t size() const { return n_; }
+  T& operator[](index_t i) {
+    FMMFFT_ASSERT(i >= 0 && i < n_);
+    return p_[i];
+  }
+
+ private:
+  T* p_;
+  std::size_t cap_ = 0;
+  index_t n_;
+};
+
+}  // namespace fmmfft

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 #include "common/types.hpp"
 
 namespace fmmfft {
@@ -30,16 +31,31 @@ void permute_pm(const T* x, T* y, index_t m_dim, index_t p_dim) {
 
 /// Cache-blocked transpose of an r×c column-major matrix into a c×r one.
 /// permute_mp(x, y, M, P) == transpose of the P×M matrix view of x.
+/// Column-block stripes run on the global pool when the matrix is large;
+/// stripes write disjoint ranges of y, so the split is race-free and the
+/// result is independent of the worker count.
 template <typename T>
 void transpose_blocked(const T* x, T* y, index_t rows, index_t cols) {
   FMMFFT_CHECK(x != y);
   constexpr index_t kB = 32;
-  for (index_t j0 = 0; j0 < cols; j0 += kB)
-    for (index_t i0 = 0; i0 < rows; i0 += kB) {
-      index_t j1 = std::min(j0 + kB, cols), i1 = std::min(i0 + kB, rows);
-      for (index_t j = j0; j < j1; ++j)
-        for (index_t i = i0; i < i1; ++i) y[j + i * cols] = x[i + j * rows];
-    }
+  const index_t col_blocks = (cols + kB - 1) / kB;
+  // Grain: at least ~2^16 elements of work per chunk.
+  const index_t grain =
+      std::max<index_t>(1, (index_t(1) << 16) / std::max<index_t>(1, rows * kB));
+  parallel_for(
+      col_blocks,
+      [&](index_t cb0, index_t cb1) {
+        for (index_t cb = cb0; cb < cb1; ++cb) {
+          const index_t j0 = cb * kB;
+          const index_t j1 = std::min(j0 + kB, cols);
+          for (index_t i0 = 0; i0 < rows; i0 += kB) {
+            const index_t i1 = std::min(i0 + kB, rows);
+            for (index_t j = j0; j < j1; ++j)
+              for (index_t i = i0; i < i1; ++i) y[j + i * cols] = x[i + j * rows];
+          }
+        }
+      },
+      grain);
 }
 
 }  // namespace fmmfft

@@ -30,6 +30,26 @@ class ThreadPool {
       threads_.emplace_back([this] { worker_loop(); });
   }
 
+  /// True while the current thread is executing a pool chunk. Nested
+  /// run_chunks/parallel_for calls must degrade to inline execution: the
+  /// pool's dispatch state is per-pool, not per-call, so re-entering it
+  /// from a worker would corrupt the outer dispatch.
+  static bool in_task() { return task_depth() > 0; }
+
+  /// RAII guard forcing every parallel_for on this thread to run inline.
+  /// Lets one process measure serial vs parallel execution (bench_native's
+  /// 1-thread end-to-end track) without re-execing under a different
+  /// FMMFFT_NUM_THREADS.
+  class ScopedSerial {
+   public:
+    ScopedSerial() { serial_depth()++; }
+    ~ScopedSerial() { serial_depth()--; }
+    ScopedSerial(const ScopedSerial&) = delete;
+    ScopedSerial& operator=(const ScopedSerial&) = delete;
+  };
+
+  static bool serial_forced() { return serial_depth() > 0; }
+
   ~ThreadPool() {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -48,7 +68,7 @@ class ThreadPool {
   /// chunks complete. fn must not throw.
   void run_chunks(index_t chunks, const std::function<void(index_t)>& fn) {
     if (chunks <= 0) return;
-    if (workers() == 1 || chunks == 1) {
+    if (workers() == 1 || chunks == 1 || in_task()) {
       for (index_t i = 0; i < chunks; ++i) fn(i);
       return;
     }
@@ -102,10 +122,21 @@ class ThreadPool {
       const index_t mine = next_++;
       const auto* f = fn_;
       lk.unlock();
+      task_depth()++;
       (*f)(mine);
+      task_depth()--;
       lk.lock();
       if (--remaining_ == 0) cv_done_.notify_all();
     }
+  }
+
+  static int& task_depth() {
+    thread_local int depth = 0;
+    return depth;
+  }
+  static int& serial_depth() {
+    thread_local int depth = 0;
+    return depth;
   }
 
   std::vector<std::thread> threads_;
@@ -116,14 +147,31 @@ class ThreadPool {
   bool done_ = false;
 };
 
+/// Oversubscription factor for parallel_for: more chunks than workers so a
+/// slow chunk doesn't stall the whole call (tail latency); the pool's
+/// work-sharing loop load-balances the surplus.
+inline constexpr index_t kParallelForOversubscribe = 4;
+
+/// Number of chunks parallel_for will split [0, n) into for a pool of
+/// `workers` threads: workers × oversubscription, floored by the grain
+/// (minimum chunk size) and the range itself. Pure function, unit-tested.
+inline index_t parallel_for_chunks(int workers, index_t n, index_t grain) {
+  if (n <= 0) return 0;
+  const index_t max_chunks = std::max<index_t>(1, n / std::max<index_t>(1, grain));
+  if (workers <= 1) return 1;
+  return std::min<index_t>(index_t(workers) * kParallelForOversubscribe, max_chunks);
+}
+
 /// Split [0, n) into roughly equal chunks and run body(begin, end) in
 /// parallel on the global pool. Grain controls the minimum chunk size.
+/// Runs inline when nested inside another parallel_for chunk or under a
+/// ThreadPool::ScopedSerial guard.
 template <typename Body>
 void parallel_for(index_t n, const Body& body, index_t grain = 1024) {
   if (n <= 0) return;
   auto& pool = ThreadPool::global();
-  const index_t max_chunks = std::max<index_t>(1, n / std::max<index_t>(1, grain));
-  const index_t chunks = std::min<index_t>(pool.workers(), max_chunks);
+  const bool inline_only = ThreadPool::in_task() || ThreadPool::serial_forced();
+  const index_t chunks = inline_only ? 1 : parallel_for_chunks(pool.workers(), n, grain);
   if (chunks <= 1) {
     body(index_t(0), n);
     return;

@@ -32,11 +32,11 @@ void fmmfft_dense_reference(const fmm::Params& prm, const std::complex<double>* 
   std::vector<std::complex<double>> tmp(static_cast<std::size_t>(n));
   // Ĥ x, then F_{M,P}: M FFTs of size P, Π_{M,P}, P FFTs of size M.
   apply_hhat_dense(prm, x, y);
-  fft::Plan1D<double> fp(p_total);
-  fp.execute_batched(y, m, fft::Direction::Forward);
+  // Cached plans: the reference transform is called repeatedly at the same
+  // sizes by the accuracy sweeps, so don't rebuild twiddles per call.
+  fft::cached_plan1d<double>(p_total)->execute_batched(y, m, fft::Direction::Forward);
   permute_mp(y, tmp.data(), m, p_total);
-  fft::Plan1D<double> fm(m);
-  fm.execute_batched(tmp.data(), p_total, fft::Direction::Forward);
+  fft::cached_plan1d<double>(m)->execute_batched(tmp.data(), p_total, fft::Direction::Forward);
   std::copy(tmp.begin(), tmp.end(), y);
 }
 

@@ -1,12 +1,27 @@
-// Stockham radix-2 autosort FFT with Bluestein fallback for non-pow2 sizes.
+// Stockham autosort FFT with Bluestein fallback for non-pow2 sizes.
+//
+// Power-of-two transforms run radix-4 Stockham stages (one radix-2 cleanup
+// stage first when log2(n) is odd): a radix-4 pass does the work of two
+// radix-2 passes with 3/4 of the twiddle multiplies and half the sweeps
+// over the data. Butterflies use explicit real/imaginary arithmetic —
+// std::complex operator* compiles to a __muldc3 libcall (inf/NaN recovery
+// branches) on GCC/Clang, which would dominate the inner loop.
+//
+// Plans are thread-safe: per-execution scratch comes from the thread-local
+// ScratchArena, so any number of threads may execute one shared plan —
+// which the pool-parallel execute_batched/execute_strided paths rely on.
 #include "fft/fft.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <list>
+#include <mutex>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/permute.hpp"
+#include "common/threadpool.hpp"
 #include "obs/obs.hpp"
 
 namespace fmmfft::fft {
@@ -15,27 +30,56 @@ namespace {
 template <typename T>
 using Cx = std::complex<T>;
 
-/// Twiddle tables for all log2(n) Stockham stages of a pow2 transform.
-/// Stage t operates on current length n_cur = n >> t and stores
-/// exp(-2·pi·i·p / n_cur) for p < n_cur/2, concatenated per stage.
+/// Complex multiply without the __muldc3 libcall.
+template <typename T>
+inline Cx<T> cmul(Cx<T> a, Cx<T> b) {
+  return Cx<T>(a.real() * b.real() - a.imag() * b.imag(),
+               a.real() * b.imag() + a.imag() * b.real());
+}
+
+/// Twiddle tables for the mixed radix-4/radix-2 Stockham schedule of a pow2
+/// transform. When log2(n) is odd the first stage is radix-2 (storing
+/// exp(-2πi·p/len) for p < len/2); every other stage is radix-4, storing
+/// the interleaved triplet (w^p, w^2p, w^3p), w = exp(-2πi/len), p < len/4.
 template <typename T>
 struct Twiddles {
+  struct Stage {
+    int radix;
+    index_t len;  ///< current transform length when this stage runs
+    index_t off;  ///< offset into w
+  };
   std::vector<Cx<T>, AlignedAllocator<Cx<T>>> w;
-  std::vector<index_t> stage_off;
+  std::vector<Stage> stages;
 
   explicit Twiddles(index_t n) {
+    index_t len = n;
     index_t total = 0;
-    for (index_t len = n; len >= 2; len /= 2) {
-      stage_off.push_back(total);
+    if (len >= 2 && ilog2_exact(n) % 2 == 1) {
+      stages.push_back({2, len, total});
       total += len / 2;
+      len /= 2;
     }
+    for (; len >= 4; len /= 4) {
+      stages.push_back({4, len, total});
+      total += 3 * (len / 4);
+    }
+    FMMFFT_CHECK(len == 1 || n == 1);
     w.resize(static_cast<std::size_t>(total));
-    index_t t = 0;
-    for (index_t len = n; len >= 2; len /= 2, ++t) {
-      const long double theta = 2.0L * pi_v<long double> / (long double)len;
-      for (index_t p = 0; p < len / 2; ++p)
-        w[static_cast<std::size_t>(stage_off[(std::size_t)t] + p)] =
-            Cx<T>((T)std::cos((long double)p * theta), (T)-std::sin((long double)p * theta));
+    for (const Stage& st : stages) {
+      const long double theta = 2.0L * pi_v<long double> / (long double)st.len;
+      auto tw = [&](index_t p) {
+        return Cx<T>((T)std::cos((long double)p * theta),
+                     (T)-std::sin((long double)p * theta));
+      };
+      if (st.radix == 2) {
+        for (index_t p = 0; p < st.len / 2; ++p) w[(std::size_t)(st.off + p)] = tw(p);
+      } else {
+        for (index_t p = 0; p < st.len / 4; ++p) {
+          w[(std::size_t)(st.off + 3 * p)] = tw(p);
+          w[(std::size_t)(st.off + 3 * p + 1)] = tw(2 * p);
+          w[(std::size_t)(st.off + 3 * p + 2)] = tw(3 * p);
+        }
+      }
     }
   }
 };
@@ -48,23 +92,62 @@ void stockham_pow2(Cx<T>* data, Cx<T>* scratch, index_t n, const Twiddles<T>& tw
   Cx<T>* src = data;
   Cx<T>* dst = scratch;
   index_t s = 1;
-  index_t t = 0;
-  for (index_t len = n; len >= 2; len /= 2, s *= 2, ++t) {
-    const index_t m = len / 2;
-    const Cx<T>* wstage = tw.w.data() + tw.stage_off[(std::size_t)t];
-    for (index_t p = 0; p < m; ++p) {
-      Cx<T> wp = wstage[p];
-      if constexpr (Inv) wp = std::conj(wp);
-      Cx<T>* d0 = dst + s * (2 * p);
-      Cx<T>* d1 = dst + s * (2 * p + 1);
-      const Cx<T>* s0 = src + s * p;
-      const Cx<T>* s1 = src + s * (p + m);
-      for (index_t q = 0; q < s; ++q) {
-        const Cx<T> a = s0[q];
-        const Cx<T> b = s1[q];
-        d0[q] = a + b;
-        d1[q] = (a - b) * wp;
+  for (const auto& st : tw.stages) {
+    const Cx<T>* wstage = tw.w.data() + st.off;
+    if (st.radix == 2) {
+      const index_t m = st.len / 2;
+      for (index_t p = 0; p < m; ++p) {
+        Cx<T> wp = wstage[p];
+        if constexpr (Inv) wp = std::conj(wp);
+        Cx<T>* d0 = dst + s * (2 * p);
+        Cx<T>* d1 = dst + s * (2 * p + 1);
+        const Cx<T>* s0 = src + s * p;
+        const Cx<T>* s1 = src + s * (p + m);
+        for (index_t q = 0; q < s; ++q) {
+          const Cx<T> a = s0[q];
+          const Cx<T> b = s1[q];
+          d0[q] = a + b;
+          d1[q] = cmul(a - b, wp);
+        }
       }
+      s *= 2;
+    } else {
+      // Radix-4 DIF butterfly, algebraically two radix-2 stages fused:
+      //   dst[4p+0] = (a+c) + (b+d)
+      //   dst[4p+1] = w^p  ·((a−c) ∓ i(b−d))   (− forward / + inverse)
+      //   dst[4p+2] = w^2p·((a+c) − (b+d))
+      //   dst[4p+3] = w^3p·((a−c) ± i(b−d))
+      const index_t m = st.len / 4;
+      for (index_t p = 0; p < m; ++p) {
+        Cx<T> w1 = wstage[3 * p], w2 = wstage[3 * p + 1], w3 = wstage[3 * p + 2];
+        if constexpr (Inv) {
+          w1 = std::conj(w1);
+          w2 = std::conj(w2);
+          w3 = std::conj(w3);
+        }
+        Cx<T>* d0 = dst + s * (4 * p);
+        Cx<T>* d1 = dst + s * (4 * p + 1);
+        Cx<T>* d2 = dst + s * (4 * p + 2);
+        Cx<T>* d3 = dst + s * (4 * p + 3);
+        const Cx<T>* s0 = src + s * p;
+        const Cx<T>* s1 = src + s * (p + m);
+        const Cx<T>* s2 = src + s * (p + 2 * m);
+        const Cx<T>* s3 = src + s * (p + 3 * m);
+        for (index_t q = 0; q < s; ++q) {
+          const Cx<T> a = s0[q], b = s1[q], c = s2[q], d = s3[q];
+          const Cx<T> t0 = a + c;
+          const Cx<T> t1 = a - c;
+          const Cx<T> t2 = b + d;
+          const Cx<T> bd = b - d;
+          // ∓i·(b−d): rotate by −90° forward, +90° inverse.
+          const Cx<T> t3 = Inv ? Cx<T>(-bd.imag(), bd.real()) : Cx<T>(bd.imag(), -bd.real());
+          d0[q] = t0 + t2;
+          d1[q] = cmul(t1 + t3, w1);
+          d2[q] = cmul(t0 - t2, w2);
+          d3[q] = cmul(t1 - t3, w3);
+        }
+      }
+      s *= 4;
     }
     std::swap(src, dst);
   }
@@ -98,14 +181,12 @@ struct Plan1D<T>::Impl {
   index_t n;
   bool pow2;
   Twiddles<T> tw;                               // for n (pow2) or m (Bluestein)
-  mutable Buffer<Cx<T>> scratch;                // Stockham ping-pong buffer
 
   // Bluestein state (pow2 == false): transform size m >= 2n-1, chirp c,
   // and the precomputed forward-FFT of the chirp filter for each direction.
   index_t m = 0;
   Buffer<Cx<T>> chirp_fwd, chirp_inv;           // c[k], per direction
   Buffer<Cx<T>> filter_fft_fwd, filter_fft_inv; // FFT(b), per direction
-  mutable Buffer<Cx<T>> work;                   // length m
 
   static index_t next_pow2(index_t v) {
     index_t p = 1;
@@ -114,10 +195,7 @@ struct Plan1D<T>::Impl {
   }
 
   explicit Impl(index_t n_)
-      : n(n_),
-        pow2(is_pow2(n_)),
-        tw(pow2 ? n_ : next_pow2(2 * n_ - 1)),
-        scratch(pow2 ? n_ : next_pow2(2 * n_ - 1)) {
+      : n(n_), pow2(is_pow2(n_)), tw(pow2 ? n_ : next_pow2(2 * n_ - 1)) {
     FMMFFT_CHECK_MSG(n >= 1, "FFT size must be positive");
     if (!pow2) {
       m = next_pow2(2 * n - 1);
@@ -125,7 +203,7 @@ struct Plan1D<T>::Impl {
       chirp_inv = Buffer<Cx<T>>(n);
       filter_fft_fwd = Buffer<Cx<T>>(m);
       filter_fft_inv = Buffer<Cx<T>>(m);
-      work = Buffer<Cx<T>>(m);
+      ScratchBlock<Cx<T>> scratch(m);
       for (int d = 0; d < 2; ++d) {
         const long double sgn = d == 0 ? -1.0L : 1.0L;
         auto& c = d == 0 ? chirp_fwd : chirp_inv;
@@ -141,13 +219,16 @@ struct Plan1D<T>::Impl {
           bf[k] = std::conj(c[k]);
           if (k > 0) bf[m - k] = std::conj(c[k]);
         }
-        stockham_pow2<T, false>(bf.data(), work.data(), m, tw);
+        stockham_pow2<T, false>(bf.data(), scratch.data(), m, tw);
       }
     }
   }
 
+  /// Transform one contiguous line in place. const and thread-safe: all
+  /// mutable state is leased from the calling thread's ScratchArena.
   void run_one(Cx<T>* data, Direction dir) const {
     if (pow2) {
+      ScratchBlock<Cx<T>> scratch(n);
       if (dir == Direction::Forward)
         stockham_pow2<T, false>(data, scratch.data(), n, tw);
       else
@@ -157,13 +238,22 @@ struct Plan1D<T>::Impl {
     // Bluestein: y[k] = c[k] * IFFT( FFT(x.*c) .* FFT(b) )[k] / m
     const auto& c = dir == Direction::Forward ? chirp_fwd : chirp_inv;
     const auto& bf = dir == Direction::Forward ? filter_fft_fwd : filter_fft_inv;
-    for (index_t k = 0; k < n; ++k) work[k] = data[k] * c[k];
+    ScratchBlock<Cx<T>> work(m);
+    ScratchBlock<Cx<T>> scratch(m);
+    for (index_t k = 0; k < n; ++k) work[k] = cmul(data[k], c[k]);
     for (index_t k = n; k < m; ++k) work[k] = Cx<T>(0);
     stockham_pow2<T, false>(work.data(), scratch.data(), m, tw);
-    for (index_t k = 0; k < m; ++k) work[k] *= bf[k];
+    for (index_t k = 0; k < m; ++k) work[k] = cmul(work[k], bf[k]);
     stockham_pow2<T, true>(work.data(), scratch.data(), m, tw);
     const T inv_m = T(1) / T(m);
-    for (index_t k = 0; k < n; ++k) data[k] = work[k] * c[k] * inv_m;
+    for (index_t k = 0; k < n; ++k) data[k] = cmul(work[k], c[k]) * inv_m;
+  }
+
+  /// Grain for batch parallelism: amortize chunk dispatch over at least
+  /// ~2^14 points' worth of transforms so tiny-n batches don't drown in
+  /// scheduling overhead.
+  index_t batch_grain() const {
+    return std::max<index_t>(1, (index_t(1) << 14) / std::max<index_t>(1, n));
   }
 };
 
@@ -206,7 +296,13 @@ template <typename T>
 void Plan1D<T>::execute_batched(Cx<T>* data, index_t count, Direction dir) const {
   FMMFFT_SPAN("FFT-batched");
   count_transforms(impl_->n, count);
-  for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * impl_->n, dir);
+  const Impl& impl = *impl_;
+  parallel_for(
+      count,
+      [&](index_t b, index_t e) {
+        for (index_t g = b; g < e; ++g) impl.run_one(data + g * impl.n, dir);
+      },
+      impl.batch_grain());
 }
 
 template <typename T>
@@ -214,19 +310,98 @@ void Plan1D<T>::execute_strided(Cx<T>* data, index_t count, index_t stride, inde
                                 Direction dir) const {
   FMMFFT_SPAN("FFT-strided");
   count_transforms(impl_->n, count);
-  const index_t n = impl_->n;
+  const Impl& impl = *impl_;
+  const index_t n = impl.n;
   if (stride == 1) {
-    for (index_t g = 0; g < count; ++g) impl_->run_one(data + g * dist, dir);
+    parallel_for(
+        count,
+        [&](index_t b, index_t e) {
+          for (index_t g = b; g < e; ++g) impl.run_one(data + g * dist, dir);
+        },
+        impl.batch_grain());
     return;
   }
   // Gather each strided batch into contiguous scratch, transform, scatter.
-  Buffer<Cx<T>> line(n);
-  for (index_t g = 0; g < count; ++g) {
-    Cx<T>* base = data + g * dist;
-    for (index_t j = 0; j < n; ++j) line[j] = base[j * stride];
-    impl_->run_one(line.data(), dir);
-    for (index_t j = 0; j < n; ++j) base[j * stride] = line[j];
+  // The line buffer is an arena lease per chunk, not a per-call heap
+  // allocation (and per-thread, so chunks never share it).
+  parallel_for(
+      count,
+      [&](index_t b, index_t e) {
+        ScratchBlock<Cx<T>> line(n);
+        for (index_t g = b; g < e; ++g) {
+          Cx<T>* base = data + g * dist;
+          for (index_t j = 0; j < n; ++j) line[j] = base[j * stride];
+          impl.run_one(line.data(), dir);
+          for (index_t j = 0; j < n; ++j) base[j * stride] = line[j];
+        }
+      },
+      impl.batch_grain());
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+namespace {
+
+std::mutex& plan_cache_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+PlanCacheStats& plan_cache_stats_locked() {
+  static PlanCacheStats stats;
+  return stats;
+}
+
+/// LRU map n -> shared plan, one per element type. Small and linear-scanned:
+/// a run touches a handful of distinct sizes (N, M, P, Bluestein m).
+template <typename T>
+struct PlanCache {
+  static constexpr std::size_t kCapacity = 32;
+  struct Entry {
+    index_t n;
+    std::uint64_t tick;
+    std::shared_ptr<const Plan1D<T>> plan;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t tick = 0;
+
+  static PlanCache& instance() {
+    static PlanCache cache;
+    return cache;
   }
+};
+
+}  // namespace
+
+template <typename T>
+std::shared_ptr<const Plan1D<T>> cached_plan1d(index_t n) {
+  auto& cache = PlanCache<T>::instance();
+  std::lock_guard<std::mutex> lk(plan_cache_mu());
+  for (auto& e : cache.entries) {
+    if (e.n == n) {
+      e.tick = ++cache.tick;
+      plan_cache_stats_locked().hits++;
+      return e.plan;
+    }
+  }
+  plan_cache_stats_locked().misses++;
+  auto plan = std::make_shared<const Plan1D<T>>(n);
+  if (cache.entries.size() >= PlanCache<T>::kCapacity) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < cache.entries.size(); ++i)
+      if (cache.entries[i].tick < cache.entries[victim].tick) victim = i;
+    cache.entries[victim] = cache.entries.back();
+    cache.entries.pop_back();
+    plan_cache_stats_locked().evictions++;
+  }
+  cache.entries.push_back({n, ++cache.tick, plan});
+  return plan;
+}
+
+PlanCacheStats plan_cache_stats() {
+  std::lock_guard<std::mutex> lk(plan_cache_mu());
+  return plan_cache_stats_locked();
 }
 
 // ---------------------------------------------------------------------------
@@ -235,17 +410,19 @@ void Plan1D<T>::execute_strided(Cx<T>* data, index_t count, index_t stride, inde
 template <typename T>
 struct Plan2D<T>::Impl {
   index_t n0, n1;
-  Plan1D<T> p0, p1;
-  mutable Buffer<Cx<T>> scratch;
+  std::shared_ptr<const Plan1D<T>> p0, p1;
 
-  Impl(index_t n0_, index_t n1_) : n0(n0_), n1(n1_), p0(n0_), p1(n1_), scratch(n0_ * n1_) {}
+  Impl(index_t n0_, index_t n1_)
+      : n0(n0_), n1(n1_), p0(cached_plan1d<T>(n0_)), p1(cached_plan1d<T>(n1_)) {}
 
   void run(Cx<T>* data, Direction dir) const {
     // FFT the n1 contiguous length-n0 lines, transpose, FFT the n0
-    // length-n1 lines, transpose back.
-    p0.execute_batched(data, n1, dir);
+    // length-n1 lines, transpose back. Scratch is an arena lease, so a
+    // shared Plan2D is executable from any number of threads.
+    ScratchBlock<Cx<T>> scratch(n0 * n1);
+    p0->execute_batched(data, n1, dir);
     transpose_blocked(data, scratch.data(), n0, n1);
-    p1.execute_batched(scratch.data(), n0, dir);
+    p1->execute_batched(scratch.data(), n0, dir);
     transpose_blocked(scratch.data(), data, n1, n0);
   }
 };
@@ -276,11 +453,13 @@ void Plan2D<T>::execute(Cx<T>* data, Direction dir) const {
 
 template <typename T>
 void fft(Cx<T>* data, index_t n, Direction dir) {
-  Plan1D<T>(n).execute(data, dir);
+  cached_plan1d<T>(n)->execute(data, dir);
 }
 
 template <typename T>
 void fft2d(Cx<T>* data, index_t n0, index_t n1, Direction dir) {
+  // Plan2D's own 1D plans come from the cache; only the (cheap) 2D shell
+  // is rebuilt per call.
   Plan2D<T>(n0, n1).execute(data, dir);
 }
 
@@ -294,6 +473,7 @@ void normalize(Cx<T>* data, index_t n, index_t transform_size) {
   template void dft_reference<T>(const Cx<T>*, Cx<T>*, index_t, Direction);          \
   template class Plan1D<T>;                                                          \
   template class Plan2D<T>;                                                          \
+  template std::shared_ptr<const Plan1D<T>> cached_plan1d<T>(index_t);               \
   template void fft<T>(Cx<T>*, index_t, Direction);                                  \
   template void fft2d<T>(Cx<T>*, index_t, index_t, Direction);                       \
   template void normalize<T>(Cx<T>*, index_t, index_t);

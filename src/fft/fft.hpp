@@ -2,13 +2,15 @@
 //
 // Complex-to-complex transforms only (the FMM-FFT needs exactly that: the
 // post-processed FMM output is complex even for real input). Power-of-two
-// sizes run a cache-friendly iterative Stockham radix-2 autosort (no bit
-// reversal); other sizes fall back to Bluestein's chirp-z algorithm built on
-// the power-of-two path. Transforms are unnormalized, matching
-// cuFFT/FFTW conventions: ifft(fft(x)) == n * x.
+// sizes run a cache-friendly iterative Stockham autosort (no bit reversal)
+// with radix-4 stages (plus one radix-2 cleanup stage when log2 n is odd);
+// other sizes fall back to Bluestein's chirp-z algorithm built on the
+// power-of-two path. Transforms are unnormalized, matching cuFFT/FFTW
+// conventions: ifft(fft(x)) == n * x.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -25,8 +27,10 @@ void dft_reference(const std::complex<T>* x, std::complex<T>* y, index_t n,
                    Direction dir = Direction::Forward);
 
 /// Plan for 1D transforms of a fixed size (any n >= 1). Holds twiddle
-/// tables and scratch; plan once, execute many times. Not thread-safe for
-/// concurrent execute() on the same plan (scratch is shared).
+/// tables; plan once, execute many times. Thread-safe: per-execution
+/// scratch comes from a thread-local arena, so any number of threads may
+/// call execute() on one shared plan concurrently (on disjoint data).
+/// Batched entry points parallelize across batches internally.
 template <typename T>
 class Plan1D {
  public:
@@ -74,7 +78,22 @@ class Plan2D {
   std::unique_ptr<Impl> impl_;
 };
 
-/// One-shot convenience transforms (plan internally).
+/// Process-wide LRU plan cache. Returns a shared immutable plan for size
+/// n, constructing it on first use; repeated fft()/fft2d()/per-call-plan
+/// paths stop rebuilding twiddle tables. Thread-safe.
+template <typename T>
+std::shared_ptr<const Plan1D<T>> cached_plan1d(index_t n);
+
+/// Cumulative cache statistics (for tests and diagnostics).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+PlanCacheStats plan_cache_stats();
+
+/// One-shot convenience transforms (plan internally, served from the
+/// process-wide plan cache).
 template <typename T>
 void fft(std::complex<T>* data, index_t n, Direction dir = Direction::Forward);
 template <typename T>

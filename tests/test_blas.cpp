@@ -2,12 +2,14 @@
 // reference across shapes/transposes/alpha-beta, strided batched GEMM, GEMV.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "blas/blas.hpp"
 #include "common/math.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 
 namespace fmmfft::blas {
 namespace {
@@ -63,6 +65,63 @@ INSTANTIATE_TEST_SUITE_P(
         Shape{50, 50, 50, Op::T, Op::T}, Shape{100, 1, 64, Op::N, Op::N},
         Shape{1, 100, 64, Op::N, Op::N}, Shape{9, 9, 1, Op::N, Op::N},
         Shape{256, 8, 16, Op::N, Op::N}, Shape{8, 256, 16, Op::T, Op::N}));
+
+TEST(Gemm, MicrokernelEdgeSizes) {
+  // Exercise the masked edge handling of the register-tiled microkernel:
+  // every m, n within ±1 of the MR=8 / NR=4 register tile (and one tile
+  // beyond), across k values that stress the accumulation loop.
+  for (index_t m : {7, 8, 9, 15, 16, 17})
+    for (index_t n : {3, 4, 5, 7, 8, 9})
+      for (index_t k : {1, 2, 8, 37}) {
+        auto a = random_vec<double>(m * k, 100 + m);
+        auto b = random_vec<double>(k * n, 200 + n);
+        auto c0 = random_vec<double>(m * n, 300 + k);
+        auto c1 = c0;
+        gemm(Op::N, Op::N, m, n, k, 1.5, a.data(), m, b.data(), k, -0.25, c0.data(), m);
+        gemm_reference(Op::N, Op::N, m, n, k, 1.5, a.data(), m, b.data(), k, -0.25, c1.data(),
+                       m);
+        EXPECT_LT(rel_l2_error(c0.data(), c1.data(), m * n), 1e-13)
+            << "m=" << m << " n=" << n << " k=" << k;
+      }
+}
+
+TEST(Gemm, AlphaBetaCorners) {
+  // alpha/beta corner values take distinct paths through the store tile
+  // (beta==0 skip-read, beta==1 plain add, alpha==0 scale-only).
+  const index_t m = 13, n = 6, k = 9;
+  auto a = random_vec<double>(m * k, 60);
+  auto b = random_vec<double>(k * n, 61);
+  for (double alpha : {0.0, 1.0, -1.0, 0.75})
+    for (double beta : {0.0, 1.0, -1.0, 0.5}) {
+      auto c0 = random_vec<double>(m * n, 62);
+      auto c1 = c0;
+      gemm(Op::N, Op::N, m, n, k, alpha, a.data(), m, b.data(), k, beta, c0.data(), m);
+      gemm_reference(Op::N, Op::N, m, n, k, alpha, a.data(), m, b.data(), k, beta, c1.data(), m);
+      EXPECT_LT(rel_l2_error(c0.data(), c1.data(), m * n), 1e-13)
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+}
+
+TEST(Gemm, SimdLabelIsKnown) {
+  const std::string label = simd_label();
+  EXPECT_TRUE(label == "vec512" || label == "vec256" || label == "vec128" || label == "scalar")
+      << label;
+}
+
+TEST(Gemm, LargeSingleGemmShardingIsDeterministic) {
+  // Big single GEMMs shard MC row-blocks across the pool; the k-loop stays
+  // serial inside each block, so the result must not depend on the split.
+  const index_t m = 384, n = 64, k = 96;
+  auto a = random_vec<double>(m * k, 70);
+  auto b = random_vec<double>(k * n, 71);
+  std::vector<double> c0(m * n, 0), c1(m * n, 0);
+  gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, b.data(), k, 0.0, c0.data(), m);
+  {
+    ThreadPool::ScopedSerial serial;
+    gemm(Op::N, Op::N, m, n, k, 1.0, a.data(), m, b.data(), k, 0.0, c1.data(), m);
+  }
+  EXPECT_EQ(c0, c1);
+}
 
 TEST(Gemm, BetaZeroIgnoresGarbageC) {
   const index_t m = 6, n = 5, k = 4;

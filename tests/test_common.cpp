@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/permute.hpp"
@@ -175,6 +177,40 @@ TEST(Rng, FillUniformComplex) {
     if (z != std::complex<float>(0)) nonzero = true;
   }
   EXPECT_TRUE(nonzero);
+}
+
+TEST(ScratchArena, ReusesAlignedBlocksAcrossLeases) {
+  auto& arena = ScratchArena::local();
+  const std::size_t cached_before = arena.cached_blocks();
+  const void* first;
+  {
+    ScratchBlock<double> blk(1000);
+    first = blk.data();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(blk.data()) % kAlignment, 0u);
+    EXPECT_EQ(blk.size(), 1000);
+    for (index_t i = 0; i < blk.size(); ++i) blk[i] = double(i);
+    EXPECT_EQ(blk[999], 999.0);
+  }
+  EXPECT_GE(arena.cached_blocks(), cached_before);  // released back, not freed
+  {
+    // Same size checks the block back out instead of allocating.
+    ScratchBlock<double> blk(1000);
+    EXPECT_EQ(blk.data(), first);
+  }
+}
+
+TEST(ScratchArena, NestedLeasesAreDistinct) {
+  ScratchBlock<int> a(64);
+  ScratchBlock<int> b(64);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(ScratchArena, CacheStaysBounded) {
+  // Leasing more distinct sizes than the cache capacity must evict rather
+  // than grow without bound.
+  for (int round = 0; round < 3; ++round)
+    for (index_t n = 1; n <= 64; ++n) ScratchBlock<double> blk(n * 1024);
+  EXPECT_LE(ScratchArena::local().cached_blocks(), ScratchArena::kMaxCached);
 }
 
 TEST(Table, PrintsAllCells) {

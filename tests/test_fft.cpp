@@ -3,11 +3,14 @@
 // and classic FFT identities (linearity, Parseval, shift, impulse).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <complex>
+#include <thread>
 #include <vector>
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "fft/fft.hpp"
 
 namespace fmmfft::fft {
@@ -54,10 +57,26 @@ TEST_P(FftSizes, RoundTripIsIdentity) {
   EXPECT_LT(rel_l2_error(x.data(), orig.data(), n), 1e-13) << "n=" << n;
 }
 
+// Every power of two through 2^12 — both radix-4 stage counts (even log2)
+// and the radix-2 cleanup path (odd log2) at every depth.
 INSTANTIATE_TEST_SUITE_P(Pow2, FftSizes,
-                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024, 4096));
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+                                           4096));
 INSTANTIATE_TEST_SUITE_P(Bluestein, FftSizes,
                          ::testing::Values(3, 5, 6, 7, 12, 15, 17, 100, 243, 1000));
+
+TEST(Fft, LargePow2MatchesReference) {
+  // 2^13 (odd log2: radix-2 cleanup + six radix-4 stages) and 2^14 (seven
+  // radix-4 stages) against the direct DFT; double only — the O(n^2)
+  // reference dominates the runtime.
+  for (index_t n : {index_t(8192), index_t(16384)}) {
+    auto x = random_signal<double>(n, 77 + n);
+    std::vector<Cx<double>> ref(static_cast<std::size_t>(n));
+    dft_reference(x.data(), ref.data(), n);
+    fft(x.data(), n, Direction::Forward);
+    EXPECT_LT(rel_l2_error(x.data(), ref.data(), n), 1e-11) << "n=" << n;
+  }
+}
 
 TEST(Fft, ImpulseGivesAllOnes) {
   const index_t n = 64;
@@ -219,6 +238,67 @@ TEST(Fft, PlanReuseIsConsistent) {
   plan.execute(y.data(), Direction::Forward);
   EXPECT_EQ(x, y);
   EXPECT_EQ(plan.size(), n);
+}
+
+TEST(Fft, SharedPlanConcurrentExecuteIsRaceFree) {
+  // Regression: scratch used to live inside the plan, so concurrent
+  // execute() on one shared plan was a data race that silently corrupted
+  // results. Scratch is now a thread-local arena lease — hammer one plan
+  // from many threads and check every transform against the reference.
+  const index_t n = 256;
+  const int kThreads = 8, kReps = 16;
+  Plan1D<double> plan(n);
+  auto x = random_signal<double>(n, 21);
+  std::vector<Cx<double>> ref(static_cast<std::size_t>(n));
+  dft_reference(x.data(), ref.data(), n);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int r = 0; r < kReps; ++r) {
+        auto mine = x;
+        plan.execute(mine.data(), Direction::Forward);
+        if (rel_l2_error(mine.data(), ref.data(), n) > 1e-12) failures++;
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Fft, BatchedIsBitIdenticalSerialVsPool) {
+  // Pool-chunked batches must produce exactly the serial result: each
+  // batch is transformed by one task with a fixed arithmetic order.
+  const index_t n = 512, count = 64;
+  auto pool_run = random_signal<double>(n * count, 22);
+  auto serial_run = pool_run;
+  Plan1D<double> plan(n);
+  plan.execute_batched(pool_run.data(), count, Direction::Forward);
+  {
+    ThreadPool::ScopedSerial serial;
+    plan.execute_batched(serial_run.data(), count, Direction::Forward);
+  }
+  EXPECT_EQ(pool_run, serial_run);
+}
+
+TEST(Fft, PlanCacheReturnsSharedPlans) {
+  const auto before = plan_cache_stats();
+  auto p1 = cached_plan1d<double>(3072);  // unlikely to be cached by other tests
+  const auto after_miss = plan_cache_stats();
+  auto p2 = cached_plan1d<double>(3072);
+  const auto after_hit = plan_cache_stats();
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(p1->size(), 3072);
+  EXPECT_EQ(after_miss.misses, before.misses + 1);
+  EXPECT_EQ(after_hit.hits, after_miss.hits + 1);
+  // One-shot fft() goes through the cache: a repeat at the same size must
+  // be a hit, not a rebuild.
+  std::vector<Cx<double>> x(64, Cx<double>(1, 0));
+  fft(x.data(), 64);
+  const auto s1 = plan_cache_stats();
+  fft(x.data(), 64);
+  const auto s2 = plan_cache_stats();
+  EXPECT_EQ(s2.hits, s1.hits + 1);
+  EXPECT_EQ(s2.misses, s1.misses);
 }
 
 TEST(Fft, FlopModel) {

@@ -9,6 +9,7 @@
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "core/fmmfft.hpp"
 #include "core/reference.hpp"
 #include "fft/fft.hpp"
@@ -61,6 +62,25 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{1 << 18, 256, 16, 3, 18},
                       Case{1 << 14, 64, 4, 4, 18},   // deeper base level
                       Case{1 << 16, 128, 4, 5, 18}));
+
+TEST(FullPipeline, SerialAndPoolRunsAreBitIdentical) {
+  // The parallelized kernels (sharded GEMM, batch-parallel FFT, striped
+  // transpose) keep a fixed arithmetic order per output element, so a full
+  // fmmfft run must not change with the worker count. ScopedSerial forces
+  // the 1-thread execution path inside one process; CI additionally runs
+  // the suite under FMMFFT_NUM_THREADS=1 and =4.
+  fmm::Params prm{1 << 14, 64, 8, 2, 14};
+  const index_t n = prm.n;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), pool_out(x.size()), serial_out(x.size());
+  fill_uniform(x.data(), n, 4321);
+  FmmFft<Cd> plan(prm);
+  plan.execute(x.data(), pool_out.data());
+  {
+    ThreadPool::ScopedSerial serial;
+    plan.execute(x.data(), serial_out.data());
+  }
+  EXPECT_EQ(pool_out, serial_out);
+}
 
 TEST(FullPipeline, SingleComplexMeetsPaperBound) {
   fmm::Params prm{1 << 16, 128, 16, 3, 8};  // Q=8: the paper's f32 tuning

@@ -6,6 +6,7 @@
 #include <complex>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "blas/blas.hpp"
@@ -76,6 +77,66 @@ TEST(ParallelFor, GrainLimitsSplitting) {
 
 TEST(ParallelFor, EmptyRange) {
   parallel_for(0, [&](index_t, index_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ChunkCountOversubscribesAndRespectsGrain) {
+  // One worker always means one chunk, whatever the range.
+  EXPECT_EQ(parallel_for_chunks(1, 1 << 20, 1), 1);
+  // Plenty of work: workers × oversubscription chunks.
+  EXPECT_EQ(parallel_for_chunks(4, 1 << 20, 1), 4 * kParallelForOversubscribe);
+  // The grain floors chunk size: 10 items at grain 4 -> at most 2 chunks.
+  EXPECT_EQ(parallel_for_chunks(8, 10, 4), 2);
+  // Range smaller than the grain collapses to a single chunk.
+  EXPECT_EQ(parallel_for_chunks(8, 3, 100), 1);
+  // Empty range produces no chunks.
+  EXPECT_EQ(parallel_for_chunks(8, 0, 1), 0);
+}
+
+TEST(ParallelFor, ScopedSerialForcesInline) {
+  ThreadPool::ScopedSerial serial;
+  EXPECT_TRUE(ThreadPool::serial_forced());
+  std::atomic<int> calls{0};
+  const auto me = std::this_thread::get_id();
+  parallel_for(
+      100000,
+      [&](index_t b, index_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100000);
+        EXPECT_EQ(std::this_thread::get_id(), me);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, SerialForcedClearsOnScopeExit) {
+  {
+    ThreadPool::ScopedSerial serial;
+    ThreadPool::ScopedSerial nested;  // guards nest
+    EXPECT_TRUE(ThreadPool::serial_forced());
+  }
+  EXPECT_FALSE(ThreadPool::serial_forced());
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  // A parallel_for inside a pool chunk must degrade to inline execution:
+  // the pool's dispatch state is per-pool, so re-entering it from a worker
+  // would corrupt the outer dispatch (or deadlock a 1-worker pool).
+  const index_t outer = 64, inner = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(outer * inner));
+  parallel_for(
+      outer,
+      [&](index_t ob, index_t oe) {
+        for (index_t o = ob; o < oe; ++o)
+          parallel_for(
+              inner,
+              [&](index_t ib, index_t ie) {
+                for (index_t i = ib; i < ie; ++i) hits[(std::size_t)(o * inner + i)]++;
+              },
+              /*grain=*/1);
+      },
+      /*grain=*/1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelBlas, BatchedGemmMatchesSerialLoop) {

@@ -1,34 +1,86 @@
 #!/usr/bin/env python3
-"""Diff a fresh bench_runner output against the committed baseline.
+"""Diff a fresh benchmark output against the committed baseline.
 
     tools/bench_compare.py BENCH_fmmfft.json fresh.json [--tolerance 0.15]
+    tools/bench_compare.py BENCH_native.json fresh_native.json
 
-Fails (exit 1) when any config's fmmfft/baseline makespan regressed by more
-than the tolerance, when a baseline config disappeared, or on a schema
-mismatch. Improvements and new configs are reported but pass. The simulated
-timings are deterministic, so the tolerance only absorbs intentional small
-model recalibrations; refresh the baseline for anything larger:
+Two tracks, selected by the baseline's schema field:
 
-    build/bench/bench_runner BENCH_fmmfft.json
+* fmmfft.bench.v1 (simulated): fails (exit 1) when any config's
+  fmmfft/baseline makespan regressed by more than the tolerance, when a
+  baseline config disappeared, or on a schema mismatch. The simulated
+  timings are deterministic, so the tolerance only absorbs intentional
+  small model recalibrations; refresh the baseline for anything larger:
+
+      build/bench/bench_runner BENCH_fmmfft.json
+
+* fmmfft.bench.native.v1 (wall clock): throughput deltas are REPORT-ONLY —
+  native numbers depend on the host, so a slow machine must not fail CI.
+  Hard failures are reserved for correctness: schema mismatch, a baseline
+  bench missing from the fresh run, or a non-positive/non-finite metric.
+  Refresh with:
+
+      build/bench/bench_native BENCH_native.json
 """
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "fmmfft.bench.v1"
+SCHEMA_NATIVE = "fmmfft.bench.native.v1"
 # Per-config scalar metrics gated on relative increase (higher = worse).
 GATED = ["fmmfft_seconds", "baseline_seconds"]
 # Sanity floor: the analyzer's critical path must stay a complete account.
 MIN_COVERAGE = 0.95
 
 
-def load(path):
+def load_raw(path, schema):
     with open(path) as f:
         data = json.load(f)
-    if data.get("schema") != SCHEMA:
-        sys.exit(f"{path}: schema {data.get('schema')!r} != expected {SCHEMA!r}")
-    return {c["name"]: c for c in data["configs"]}
+    if data.get("schema") != schema:
+        sys.exit(f"{path}: schema {data.get('schema')!r} != expected {schema!r}")
+    return data
+
+
+def load(path):
+    return {c["name"]: c for c in load_raw(path, SCHEMA)["configs"]}
+
+
+def compare_native(baseline_path, fresh_path):
+    base = {b["name"]: b for b in load_raw(baseline_path, SCHEMA_NATIVE)["benches"]}
+    fresh = {b["name"]: b for b in load_raw(fresh_path, SCHEMA_NATIVE)["benches"]}
+
+    failures = []
+    width = max((len(n) for n in base), default=10)
+    print(f"{'bench':<{width}}  {'metric':<14} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+    for name, b in base.items():
+        f = fresh.get(name)
+        if f is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        if f["metric"] != b["metric"]:
+            failures.append(f"{name}: metric {f['metric']!r} != baseline {b['metric']!r}")
+            continue
+        if not (math.isfinite(f["value"]) and f["value"] > 0):
+            failures.append(f"{name}: non-positive or non-finite value {f['value']!r}")
+            continue
+        # seconds: lower is better; every throughput metric: higher is better.
+        better_low = b["metric"] == "seconds"
+        rel = (f["value"] - b["value"]) / b["value"] if b["value"] > 0 else 0.0
+        shown = rel if not better_low else -rel
+        print(f"{name:<{width}}  {b['metric']:<14} {b['value']:>10.3f} {f['value']:>10.3f} "
+              f"{shown:>+7.1%}")
+    for name in fresh.keys() - base.keys():
+        print(f"note: new bench {name} (not in baseline; commit a refresh to track it)")
+
+    if failures:
+        print(f"\nNATIVE BENCH FAILED ({len(failures)} failure(s)):")
+        for msg in failures:
+            print(f"  {msg}")
+        sys.exit(1)
+    print(f"\nnative bench OK ({len(base)} benches present; wall deltas report-only)")
 
 
 def main():
@@ -38,6 +90,14 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="max allowed relative increase (default 0.15)")
     args = ap.parse_args()
+
+    # Dispatch on the baseline's schema so one entry point serves both the
+    # simulated gate and the native report-only track.
+    with open(args.baseline) as f:
+        schema = json.load(f).get("schema")
+    if schema == SCHEMA_NATIVE:
+        compare_native(args.baseline, args.fresh)
+        return
 
     base = load(args.baseline)
     fresh = load(args.fresh)

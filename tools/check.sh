@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build (warnings surfaced), ctest, a smoke test
-# that the observability exporters produce loadable JSON, and a benchmark
-# regression check against the committed BENCH_fmmfft.json baseline.
+# that the observability exporters produce loadable JSON, a benchmark
+# regression check against the committed BENCH_fmmfft.json baseline, and a
+# native-throughput check against BENCH_native.json (wall times report-only;
+# schema/coverage failures are hard).
 #
 #   tools/check.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -64,6 +66,17 @@ if command -v python3 >/dev/null; then
 else
   echo "python3 not found; skipped bench comparison (runner output is non-empty)"
   [ -s "$FRESH" ] || { echo "BENCH FAILED: $FRESH is empty"; exit 1; }
+fi
+
+echo "== native bench (wall times report-only) =="
+NATIVE=$(mktemp --suffix=.json)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$FRESH" "$NATIVE"' EXIT
+"$BUILD/bench/bench_native" "$NATIVE" >/dev/null
+if command -v python3 >/dev/null; then
+  python3 tools/bench_compare.py BENCH_native.json "$NATIVE"
+else
+  echo "python3 not found; skipped native comparison (runner output is non-empty)"
+  [ -s "$NATIVE" ] || { echo "NATIVE BENCH FAILED: $NATIVE is empty"; exit 1; }
 fi
 
 echo "== all checks passed =="
