@@ -15,6 +15,7 @@
 // never do). Refresh with:  build/bench/bench_native BENCH_native.json
 #include <complex>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "common/table.hpp"
 #include "common/threadpool.hpp"
 #include "core/fmmfft.hpp"
+#include "dist/dfmmfft.hpp"
+#include "exec/executor.hpp"
 #include "fft/fft.hpp"
 #include "fmm/params.hpp"
 #include "obs/trace_writer.hpp"
@@ -108,6 +111,37 @@ void bench_fmmfft_e2e() {
   record("fmmfft_e2e_n16_pool", "seconds", sec, sec);
 }
 
+/// Distributed end-to-end: the serial reference driver vs the async
+/// task-graph executor on the same DistFmmFft instance, g devices. Outputs
+/// must be byte-identical — the executor's whole point is reordering
+/// without renumbering. Returns false on a mismatch.
+bool bench_dist_e2e(int g) {
+  // Shapes divide by every g in {2, 4}: m = 1024, p = 64, 8 base boxes.
+  const fmm::Params prm{index_t(1) << 16, 64, 8, 3, 14};
+  using Cx = std::complex<double>;
+  dist::DistFmmFft<Cx> plan(prm, g);
+  Buffer<Cx> in(prm.n), out_serial(prm.n), out_async(prm.n);
+  fill_uniform(in.data(), prm.n, 40 + g);
+  const std::string base = "dfmmfft_e2e_g" + std::to_string(g);
+
+  {
+    exec::ScopedMode sm(exec::Mode::Serial);
+    double sec = time_best([&] { plan.execute(in.data(), out_serial.data()); });
+    record(base + "_serial", "seconds", sec, sec);
+  }
+  {
+    exec::ScopedMode sm(exec::Mode::Async);
+    double sec = time_best([&] { plan.execute(in.data(), out_async.data()); });
+    record(base + "_async", "seconds", sec, sec);
+  }
+  if (std::memcmp(out_serial.data(), out_async.data(),
+                  sizeof(Cx) * static_cast<std::size_t>(prm.n)) != 0) {
+    std::fprintf(stderr, "FATAL: %s serial/async outputs differ\n", base.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +171,11 @@ int main(int argc, char** argv) {
   bench_transpose("transpose_c64_1024", 1024, 1024);
 
   bench_fmmfft_e2e();
+
+  // Distributed e2e, serial driver vs async executor (overlap headroom
+  // scales with hardware threads; byte-identity is checked regardless).
+  for (int g : {2, 4})
+    if (!bench_dist_e2e(g)) return 1;
 
   std::ofstream os(out_path);
   if (!os) {

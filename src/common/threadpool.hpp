@@ -27,8 +27,17 @@ class ThreadPool {
   explicit ThreadPool(int workers) {
     FMMFFT_CHECK(workers >= 1);
     for (int i = 0; i + 1 < workers; ++i)  // worker 0 is the calling thread
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i] {
+        worker_id() = i + 1;
+        worker_loop();
+      });
   }
+
+  /// Index of the pool thread executing the caller: 1..workers-1 for
+  /// threads owned by a pool, 0 for any external thread (the "worker 0 is
+  /// the calling thread" convention). Used by the exec::TaskGraph records
+  /// and by tests asserting where work actually ran.
+  static int current_worker() { return worker_id(); }
 
   /// True while the current thread is executing a pool chunk. Nested
   /// run_chunks/parallel_for calls must degrade to inline execution: the
@@ -133,6 +142,10 @@ class ThreadPool {
   static int& task_depth() {
     thread_local int depth = 0;
     return depth;
+  }
+  static int& worker_id() {
+    thread_local int id = 0;
+    return id;
   }
   static int& serial_depth() {
     thread_local int depth = 0;

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/permute.hpp"
+#include "common/threadpool.hpp"
 #include "common/timer.hpp"
 #include "fmm/operators.hpp"
 #include "obs/obs.hpp"
@@ -80,8 +81,16 @@ struct FmmFft<InT>::Impl {
       const Real* t = engine.target_box(0);
       const Real* r = engine.reduction();
       Out* stage = fuse_post ? output : scratch.data();
-      for (index_t mg = 0; mg < mtot; ++mg)
-        for (index_t p = 0; p < prm.p; ++p) stage[p + prm.p * mg] = post_value(t, r, p, mg);
+      // Rows are independent elementwise work, so splitting them across the
+      // pool is bit-identical to the serial sweep.
+      parallel_for(
+          mtot,
+          [&](index_t mg_lo, index_t mg_hi) {
+            for (index_t mg = mg_lo; mg < mg_hi; ++mg)
+              for (index_t p = 0; p < prm.p; ++p)
+                stage[p + prm.p * mg] = post_value(t, r, p, mg);
+          },
+          /*grain=*/16);
       if (!fuse_post) std::memcpy(output, scratch.data(), sizeof(Out) * (std::size_t)prm.n);
     }
     prof.post_seconds = post_t.seconds();

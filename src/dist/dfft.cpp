@@ -1,6 +1,8 @@
 #include "dist/dfft.hpp"
 
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -94,6 +96,19 @@ Dist2dFft<T>::Dist2dFft(index_t m, index_t p, int g)
 template <typename T>
 void Dist2dFft<T>::execute_slabs(const std::vector<std::complex<T>*>& slabs,
                                  sim::Fabric& fabric) {
+  if (exec::mode() == exec::Mode::Serial) {
+    execute_slabs_serial(slabs, fabric);
+    return;
+  }
+  exec::DeviceLanes lanes(g_);
+  exec::TaskGraph graph(lanes.count());
+  submit_slabs(graph, lanes, slabs, fabric);
+  graph.run();
+}
+
+template <typename T>
+void Dist2dFft<T>::execute_slabs_serial(const std::vector<std::complex<T>*>& slabs,
+                                        sim::Fabric& fabric) {
   using Cx = std::complex<T>;
   const index_t slab = m_ * p_ / g_;
   // (a) M local FFTs of size P on the p-major data (M/G per device).
@@ -112,6 +127,129 @@ void Dist2dFft<T>::execute_slabs(const std::vector<std::complex<T>*>& slabs,
       plan_m_.execute_batched(sc[(std::size_t)r], p_ / g_, fft::Direction::Forward);
   }
   for (int r = 0; r < g_; ++r) std::memcpy(slabs[(std::size_t)r], sc[(std::size_t)r], sizeof(Cx) * slab);
+}
+
+template <typename T>
+std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
+                                                     const exec::DeviceLanes& lanes,
+                                                     const std::vector<std::complex<T>*>& slabs,
+                                                     sim::Fabric& fabric,
+                                                     const std::vector<exec::TaskId>& ready) {
+  using Cx = std::complex<T>;
+  FMMFFT_CHECK((index_t)slabs.size() == g_);
+  FMMFFT_CHECK(ready.empty() || (int)ready.size() == g_);
+  const index_t mg = m_ / g_, pg = p_ / g_, slab = m_ * p_ / g_;
+  // Same chunk granularity the simulated schedule pipelines with
+  // (schedules.cpp chunk_count): enough chunks that a copy can start while
+  // the remaining row FFTs still run, floored by the rows themselves.
+  const index_t nc = std::min<index_t>(std::max<index_t>(2, g_), mg);
+  const index_t step = (mg + nc - 1) / nc;
+  auto sc = ptrs(scratch_);
+
+  // (a) Row FFTs, one task per chunk of contiguous p-major rows. Rows are
+  // independent lines, so chunks are unordered: order cannot change bits.
+  std::vector<std::vector<exec::TaskId>> fftp((std::size_t)g_);
+  for (int r = 0; r < g_; ++r)
+    for (index_t c = 0; c < nc; ++c) {
+      const index_t lo = c * step, hi = std::min(mg, lo + step);
+      if (lo >= hi) break;
+      std::vector<exec::TaskId> deps;
+      if (!ready.empty()) deps.push_back(ready[(std::size_t)r]);
+      Cx* base = slabs[(std::size_t)r] + lo * p_;
+      const index_t rows = hi - lo;
+      fftp[(std::size_t)r].push_back(graph.submit(
+          "fftp d" + std::to_string(r) + " c" + std::to_string(c),
+          {lanes.compute(r), /*ordered=*/false, "fft"},
+          [this, base, rows] {
+            FMMFFT_SPAN("2DFFT-P");
+            plan_p_.execute_batched(base, rows, fft::Direction::Forward);
+          },
+          std::move(deps)));
+    }
+
+  // (b) The single all-to-all, chunk-pipelined: for every (src, dst) pair
+  // and row chunk, pack on src, copy on the pair's link lane, unpack on
+  // dst. Each triple owns its staging buffers, so chunks overlap freely;
+  // the chunk's pack waits only on the row FFTs that produced its rows.
+  std::vector<std::vector<exec::TaskId>> unpacks((std::size_t)g_);
+  std::vector<std::vector<exec::TaskId>> packs_from((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    for (int rr = 0; rr < g_; ++rr) {
+      for (index_t c = 0; c < nc; ++c) {
+        const index_t lo = c * step, hi = std::min(mg, lo + step);
+        if (lo >= hi) break;
+        const index_t rows = hi - lo, cnt = rows * pg;
+        auto sbuf = std::make_shared<Buffer<Cx>>(cnt);
+        auto dbuf = std::make_shared<Buffer<Cx>>(cnt);
+        const Cx* in = slabs[(std::size_t)r];
+        Cx* out = sc[(std::size_t)rr];
+        const std::string sfx = " " + std::to_string(r) + "->" + std::to_string(rr) + " c" +
+                                std::to_string(c);
+        const exec::TaskId pack = graph.submit(
+            "pack" + sfx, {lanes.compute(r), /*ordered=*/false, "a2a"},
+            [this, in, sbuf, lo, hi, rr, pg] {
+              index_t k = 0;
+              for (index_t pm = lo; pm < hi; ++pm)
+                for (index_t pp = 0; pp < pg; ++pp)
+                  (*sbuf)[k++] = in[(rr * pg + pp) + pm * p_];
+            },
+            {fftp[(std::size_t)r][(std::size_t)c]});
+        const exec::TaskId copy = graph.submit(
+            "copy" + sfx, {lanes.copy(r, rr), /*ordered=*/true, "a2a"},
+            [&fabric, r, rr, sbuf, dbuf, cnt] {
+              fabric.send(r, rr, sbuf->data(), dbuf->data(), cnt, "A2A-2D");
+            },
+            {pack});
+        const exec::TaskId unpack = graph.submit(
+            "unpack" + sfx, {lanes.compute(rr), /*ordered=*/false, "a2a"},
+            [this, out, dbuf, lo, hi, r, mg, pg] {
+              index_t k = 0;
+              for (index_t pm = lo; pm < hi; ++pm)
+                for (index_t pp = 0; pp < pg; ++pp)
+                  out[(r * mg + pm) + pp * m_] = (*dbuf)[k++];
+            },
+            {copy});
+        packs_from[(std::size_t)r].push_back(pack);
+        unpacks[(std::size_t)rr].push_back(unpack);
+      }
+    }
+  }
+
+  // (c) Column FFTs per device once every fragment of its scratch slab has
+  // arrived (join meta-task), then the slab write-back — which must also
+  // wait for every pack that still reads this device's slab (WAR hazard).
+  std::vector<exec::TaskId> terminal((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    const exec::TaskId join =
+        graph.submit("a2a-join d" + std::to_string(r),
+                     {lanes.compute(r), /*ordered=*/false, "sync"}, [] {},
+                     unpacks[(std::size_t)r]);
+    std::vector<exec::TaskId> fftm;
+    const index_t stepm = (pg + nc - 1) / nc;
+    for (index_t c = 0; c < nc; ++c) {
+      const index_t lo = c * stepm, hi = std::min(pg, lo + stepm);
+      if (lo >= hi) break;
+      Cx* base = sc[(std::size_t)r] + lo * m_;
+      const index_t rows = hi - lo;
+      fftm.push_back(graph.submit(
+          "fftm d" + std::to_string(r) + " c" + std::to_string(c),
+          {lanes.compute(r), /*ordered=*/false, "fft"},
+          [this, base, rows] {
+            FMMFFT_SPAN("2DFFT-M");
+            plan_m_.execute_batched(base, rows, fft::Direction::Forward);
+          },
+          {join}));
+    }
+    std::vector<exec::TaskId> deps = fftm;
+    deps.insert(deps.end(), packs_from[(std::size_t)r].begin(), packs_from[(std::size_t)r].end());
+    Cx* dst = slabs[(std::size_t)r];
+    const Cx* src = sc[(std::size_t)r];
+    terminal[(std::size_t)r] = graph.submit(
+        "writeback d" + std::to_string(r), {lanes.compute(r), /*ordered=*/true, "fft"},
+        [dst, src, slab] { std::memcpy(dst, src, sizeof(Cx) * (std::size_t)slab); },
+        std::move(deps));
+  }
+  return terminal;
 }
 
 template <typename T>

@@ -18,6 +18,7 @@
 
 #include "common/aligned.hpp"
 #include "common/types.hpp"
+#include "exec/executor.hpp"
 #include "fft/fft.hpp"
 #include "sim/fabric.hpp"
 
@@ -59,12 +60,27 @@ class Dist2dFft {
   void execute(const std::complex<T>* in, std::complex<T>* out);
 
   /// In-place variant over externally owned per-device slabs of N/G
-  /// elements (used by the distributed FMM-FFT to avoid staging).
+  /// elements (used by the distributed FMM-FFT to avoid staging). Runs
+  /// through the async executor unless exec::mode() == Serial.
   void execute_slabs(const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric);
+
+  /// Async building block: submit the whole 2D FFT as tasks on `graph` —
+  /// per-device row-FFT chunks, per-(pair,chunk) pack→copy→unpack for the
+  /// single all-to-all, then column-FFT chunks — so copies overlap
+  /// neighbouring FFT chunks exactly as dist::fft_schedule models.
+  /// `ready[r]` (optional) gates device r's first task; returns the
+  /// per-device terminal task (slab writes complete when it finishes).
+  std::vector<exec::TaskId> submit_slabs(exec::TaskGraph& graph,
+                                         const exec::DeviceLanes& lanes,
+                                         const std::vector<std::complex<T>*>& slabs,
+                                         sim::Fabric& fabric,
+                                         const std::vector<exec::TaskId>& ready = {});
 
   const sim::Fabric& fabric() const { return fabric_; }
 
  private:
+  void execute_slabs_serial(const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric);
+
   index_t m_, p_;
   int g_;
   sim::Fabric fabric_;

@@ -1,8 +1,10 @@
 #include "dist/dfmmfft.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 #include "dist/collectives.hpp"
 #include "fmm/operators.hpp"
 #include "obs/obs.hpp"
@@ -76,7 +78,52 @@ void DistFmmFft<InT>::allgather_base() {
 }
 
 template <typename InT>
+void DistFmmFft<InT>::post_slab(int r) {
+  // POST fused with the 2D-FFT load (§4.9 line 15): slab element
+  // n = p + P·mg with mg in rank r's range. Rows are independent
+  // elementwise work, so the parallel_for split is bit-identical (and it
+  // degrades to the plain loop inside an executor task).
+  FMMFFT_SPAN("POST");
+  const index_t slab_n = prm_.n / g_;
+  const index_t p_total = prm_.p;
+  const Real* t = engines_[(std::size_t)r]->target_box(0);
+  const Real* rr = engines_[(std::size_t)r]->reduction();
+  Out* s = slabs_[(std::size_t)r].data();
+  const index_t m_loc = slab_n / p_total;
+  parallel_for(
+      m_loc,
+      [&](index_t mg_lo, index_t mg_hi) {
+        for (index_t mg = mg_lo; mg < mg_hi; ++mg)
+          for (index_t p = 0; p < p_total; ++p) {
+            const index_t i = p + p_total * mg;
+            Out tv;
+            if (c_ == 2)
+              tv = Out(t[2 * i], t[2 * i + 1]);
+            else
+              tv = Out(t[i], 0);
+            if (p == 0) {
+              s[i] = tv;
+            } else {
+              const Out rp = c_ == 2 ? Out(rr[2 * (p - 1)], rr[2 * (p - 1) + 1])
+                                     : Out(0, rr[p - 1]);
+              // For c == 1 rp already carries the i·r_p rotation.
+              s[i] = rho_[(std::size_t)p] * (c_ == 2 ? tv + Out(0, 1) * rp : tv + rp);
+            }
+          }
+      },
+      /*grain=*/16);
+}
+
+template <typename InT>
 void DistFmmFft<InT>::execute(const InT* in, Out* out) {
+  if (exec::mode() == exec::Mode::Serial)
+    execute_serial(in, out);
+  else
+    execute_async(in, out);
+}
+
+template <typename InT>
+void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
   const index_t slab_n = prm_.n / g_;
   const int l = prm_.l(), b = prm_.b;
 
@@ -90,8 +137,8 @@ void DistFmmFft<InT>::execute(const InT* in, Out* out) {
   }
 
   // Algorithm 1. Stage loops run over all devices (they execute these in
-  // parallel on real hardware; the schedule/timeline model accounts for
-  // that — numerics here are order-independent).
+  // parallel on real hardware; execute_async does so here too — this path
+  // is the strictly-ordered reference for A/B and bit-identity checks).
   {
     FMMFFT_SPAN("FMM");
     for (auto& e : engines_) e->s2m();
@@ -111,35 +158,7 @@ void DistFmmFft<InT>::execute(const InT* in, Out* out) {
     for (auto& e : engines_) e->l2t();
   }
 
-  // POST fused with the 2D-FFT load (§4.9 line 15): slab element
-  // n = p + P·mg with mg in rank r's range.
-  const index_t p_total = prm_.p;
-  {
-    FMMFFT_SPAN("POST");
-    for (int r = 0; r < g_; ++r) {
-      const Real* t = engines_[(std::size_t)r]->target_box(0);
-      const Real* rr = engines_[(std::size_t)r]->reduction();
-      Out* s = slabs_[(std::size_t)r].data();
-      const index_t m_loc = slab_n / p_total;
-      for (index_t mg = 0; mg < m_loc; ++mg)
-        for (index_t p = 0; p < p_total; ++p) {
-          const index_t i = p + p_total * mg;
-          Out tv;
-          if (c_ == 2)
-            tv = Out(t[2 * i], t[2 * i + 1]);
-          else
-            tv = Out(t[i], 0);
-          if (p == 0) {
-            s[i] = tv;
-          } else {
-            const Out rp = c_ == 2 ? Out(rr[2 * (p - 1)], rr[2 * (p - 1) + 1])
-                                   : Out(0, rr[p - 1]);
-            // For c == 1 rp already carries the i·r_p rotation.
-            s[i] = rho_[(std::size_t)p] * (c_ == 2 ? tv + Out(0, 1) * rp : tv + rp);
-          }
-        }
-    }
-  }
+  for (int r = 0; r < g_; ++r) post_slab(r);
 
   // Distributed 2D FFT (one all-to-all), output in order.
   {
@@ -151,6 +170,178 @@ void DistFmmFft<InT>::execute(const InT* in, Out* out) {
       std::memcpy(out + r * slab_n, sp[(std::size_t)r],
                   sizeof(Out) * static_cast<std::size_t>(slab_n));
   }
+}
+
+template <typename InT>
+void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
+  // The native twin of dist::fmmfft_schedule: every engine stage becomes an
+  // ordered task on its device's compute lane (so each engine executes
+  // stages in exactly execute_serial's order — the bit-identity invariant),
+  // and every fabric copy becomes a task on the directed pair's link lane,
+  // gated only by the task that produced its payload. Device compute then
+  // overlaps both neighbouring devices' stages and in-flight copies.
+  const index_t slab_n = prm_.n / g_;
+  const int l = prm_.l(), b = prm_.b;
+  exec::DeviceLanes lanes(g_);
+  exec::TaskGraph graph(lanes.count());
+  auto dev = [](const std::string& what, int r) { return what + " d" + std::to_string(r); };
+
+  // LOAD: slab r is engine r's S interior.
+  std::vector<exec::TaskId> load((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    auto* e = engines_[(std::size_t)r].get();
+    const InT* src = in + r * slab_n;
+    load[(std::size_t)r] = graph.submit(
+        dev("load", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, src, slab_n] {
+          e->reset_stats();
+          e->zero();
+          std::memcpy(e->source_box(0), src, sizeof(InT) * static_cast<std::size_t>(slab_n));
+        });
+  }
+
+  // COMM-S rides the link lanes while S2M runs: the halo boxes it writes
+  // are disjoint from the interior S2M reads.
+  const index_t nb = engines_[0]->local_leaves();
+  const index_t selems = engines_[0]->source_box_elems();
+  std::vector<std::vector<exec::TaskId>> s_arrive((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    const int left = (r + g_ - 1) % g_, right = (r + 1) % g_;
+    s_arrive[(std::size_t)r].push_back(graph.submit(
+        "comm-s " + std::to_string(left) + "->" + std::to_string(r),
+        {lanes.copy(left, r), /*ordered=*/true, "sync"},
+        [this, left, r, nb, selems] {
+          fabric_.send(left, r, engines_[(std::size_t)left]->source_box(nb - 1),
+                       engines_[(std::size_t)r]->source_box(-1), selems, "COMM-S");
+        },
+        {load[(std::size_t)left]}));
+    s_arrive[(std::size_t)r].push_back(graph.submit(
+        "comm-s " + std::to_string(right) + "->" + std::to_string(r),
+        {lanes.copy(right, r), /*ordered=*/true, "sync"},
+        [this, right, r, nb, selems] {
+          fabric_.send(right, r, engines_[(std::size_t)right]->source_box(0),
+                       engines_[(std::size_t)r]->source_box(nb), selems, "COMM-S");
+        },
+        {load[(std::size_t)right]}));
+  }
+
+  std::vector<exec::TaskId> s2m_id((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    auto* e = engines_[(std::size_t)r].get();
+    s2m_id[(std::size_t)r] = graph.submit(dev("s2m", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
+                                          [e] { e->s2m(); });
+  }
+  for (int r = 0; r < g_; ++r) {
+    auto* e = engines_[(std::size_t)r].get();
+    graph.submit(dev("s2t", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e] { e->s2t(); },
+                 s_arrive[(std::size_t)r]);
+  }
+
+  // M2M up-sweep; remember which task last wrote each multipole level so
+  // the level's halo exchange can start the moment that level is built.
+  std::vector<std::vector<exec::TaskId>> m2m_at((std::size_t)g_);  // per device, level l-1..b
+  for (int lev = l - 1; lev >= b; --lev)
+    for (int r = 0; r < g_; ++r) {
+      auto* e = engines_[(std::size_t)r].get();
+      m2m_at[(std::size_t)r].push_back(graph.submit(
+          dev("m2m-" + std::to_string(lev), r), {lanes.compute(r), /*ordered=*/true, "fmm"},
+          [e, lev] { e->m2m(lev); }));
+    }
+  auto level_writer = [&](int r, int lev) -> exec::TaskId {
+    // Writer of M^lev on device r: S2M for the leaf level, else the M2M
+    // that built lev (stored at index l-1-lev).
+    if (lev == l) return s2m_id[(std::size_t)r];
+    return m2m_at[(std::size_t)r][(std::size_t)(l - 1 - lev)];
+  };
+
+  // COMM-M per level, then the level's M2L once both halves arrived.
+  std::vector<std::vector<exec::TaskId>> m_arrive((std::size_t)g_);
+  const index_t eelems = 2 * engines_[0]->expansion_box_elems();
+  for (int lev = l; lev > b; --lev) {
+    for (int r = 0; r < g_; ++r) m_arrive[(std::size_t)r].clear();
+    for (int r = 0; r < g_; ++r) {
+      const int left = (r + g_ - 1) % g_, right = (r + 1) % g_;
+      const index_t nbl = engines_[0]->local_boxes(lev);
+      const std::string tag = "COMM-M" + std::to_string(lev);
+      m_arrive[(std::size_t)r].push_back(graph.submit(
+          "comm-m" + std::to_string(lev) + " " + std::to_string(left) + "->" + std::to_string(r),
+          {lanes.copy(left, r), /*ordered=*/true, "sync"},
+          [this, left, r, lev, nbl, eelems, tag] {
+            fabric_.send(left, r, engines_[(std::size_t)left]->multipole_box(lev, nbl - 2),
+                         engines_[(std::size_t)r]->multipole_box(lev, -2), eelems, tag);
+          },
+          {level_writer(left, lev)}));
+      m_arrive[(std::size_t)r].push_back(graph.submit(
+          "comm-m" + std::to_string(lev) + " " + std::to_string(right) + "->" + std::to_string(r),
+          {lanes.copy(right, r), /*ordered=*/true, "sync"},
+          [this, right, r, lev, nbl, eelems, tag] {
+            fabric_.send(right, r, engines_[(std::size_t)right]->multipole_box(lev, 0),
+                         engines_[(std::size_t)r]->multipole_box(lev, nbl), eelems, tag);
+          },
+          {level_writer(right, lev)}));
+    }
+    for (int r = 0; r < g_; ++r) {
+      auto* e = engines_[(std::size_t)r].get();
+      graph.submit(dev("m2l-" + std::to_string(lev), r),
+                   {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, lev] { e->m2l_level(lev); },
+                   m_arrive[(std::size_t)r]);
+    }
+  }
+
+  // COMM-MB allgather (self-slab is already in place), then base M2L.
+  const index_t bslab =
+      engines_[0]->local_boxes(b) * engines_[0]->expansion_box_elems();
+  std::vector<std::vector<exec::TaskId>> g_arrive((std::size_t)g_);
+  for (int r = 0; r < g_; ++r)
+    for (int rr = 0; rr < g_; ++rr) {
+      if (r == rr) continue;
+      g_arrive[(std::size_t)rr].push_back(graph.submit(
+          "comm-mb " + std::to_string(r) + "->" + std::to_string(rr),
+          {lanes.copy(r, rr), /*ordered=*/true, "sync"},
+          [this, r, rr, bslab] {
+            auto* es = engines_[(std::size_t)r].get();
+            auto* ed = engines_[(std::size_t)rr].get();
+            fabric_.send(r, rr, es->multipole_box(prm_.b, es->box_offset(prm_.b)),
+                         ed->multipole_box(prm_.b, 0) + r * bslab, bslab, "COMM-MB");
+          },
+          {level_writer(r, b)}));
+    }
+  for (int r = 0; r < g_; ++r) {
+    auto* e = engines_[(std::size_t)r].get();
+    graph.submit(dev("m2l-b", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
+                 [e] { e->m2l_base(); }, g_arrive[(std::size_t)r]);
+    graph.submit(dev("reduce", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
+                 [e] { e->reduce(); });
+  }
+  for (int lev = b; lev < l; ++lev)
+    for (int r = 0; r < g_; ++r) {
+      auto* e = engines_[(std::size_t)r].get();
+      graph.submit(dev("l2l-" + std::to_string(lev), r),
+                   {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, lev] { e->l2l(lev); });
+    }
+  std::vector<exec::TaskId> post((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    auto* e = engines_[(std::size_t)r].get();
+    graph.submit(dev("l2t", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e] { e->l2t(); });
+    post[(std::size_t)r] = graph.submit(dev("post", r), {lanes.compute(r), /*ordered=*/true, "post"},
+                                        [this, r] { post_slab(r); });
+  }
+
+  // Distributed 2D FFT rides the same graph; each device's slab store waits
+  // only for that device's write-back.
+  std::vector<Out*> sp;
+  for (auto& s : slabs_) sp.push_back(s.data());
+  const std::vector<exec::TaskId> terminal = fft2d_.submit_slabs(graph, lanes, sp, fabric_, post);
+  for (int r = 0; r < g_; ++r) {
+    Out* dst = out + r * slab_n;
+    const Out* src = sp[(std::size_t)r];
+    graph.submit(dev("store", r), {lanes.compute(r), /*ordered=*/true, "fft"},
+                 [dst, src, slab_n] {
+                   std::memcpy(dst, src, sizeof(Out) * static_cast<std::size_t>(slab_n));
+                 },
+                 {terminal[(std::size_t)r]});
+  }
+
+  graph.run();
 }
 
 template class DistFmmFft<float>;

@@ -32,7 +32,10 @@ class DistFmmFft {
   const fmm::Params& params() const { return prm_; }
   int num_devices() const { return g_; }
 
-  /// Host-staged execute: out = F_N · in, both length N.
+  /// Host-staged execute: out = F_N · in, both length N. Dispatches to the
+  /// async task-graph executor unless exec::mode() == Serial
+  /// (FMMFFT_EXEC=serial or exec::ScopedMode); both paths produce
+  /// bit-identical output at any worker count.
   void execute(const InT* in, Out* out);
 
   const sim::Fabric& fabric() const { return fabric_; }
@@ -44,6 +47,11 @@ class DistFmmFft {
   }
 
  private:
+  void execute_serial(const InT* in, Out* out);
+  void execute_async(const InT* in, Out* out);
+  /// POST for device r (§4.9 line 15): one pass from the engine's T tensor
+  /// into the 2D-FFT slab.
+  void post_slab(int r);
   void exchange_source_halos();
   void exchange_multipole_halos(int level);
   void allgather_base();

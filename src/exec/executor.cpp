@@ -1,0 +1,147 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace fmmfft::exec {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+Mode& tl_mode() {
+  thread_local Mode m = default_mode();
+  return m;
+}
+
+}  // namespace
+
+Mode default_mode() {
+  static const Mode m = [] {
+    const char* env = std::getenv("FMMFFT_EXEC");
+    if (env && std::strcmp(env, "serial") == 0) return Mode::Serial;
+    return Mode::Async;
+  }();
+  return m;
+}
+
+Mode mode() { return tl_mode(); }
+
+ScopedMode::ScopedMode(Mode m) : prev_(tl_mode()) { tl_mode() = m; }
+ScopedMode::~ScopedMode() { tl_mode() = prev_; }
+
+TaskGraph::TaskGraph(int lanes) {
+  FMMFFT_CHECK(lanes >= 1);
+  lane_tail_.assign(static_cast<std::size_t>(lanes), -1);
+}
+
+TaskId TaskGraph::submit(std::string label, const Options& opt, std::function<void()> fn,
+                         std::vector<TaskId> deps) {
+  FMMFFT_CHECK(!ran_);
+  FMMFFT_CHECK(opt.lane >= 0 && opt.lane < lanes());
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  if (opt.ordered && lane_tail_[(std::size_t)opt.lane] >= 0)
+    deps.push_back(lane_tail_[(std::size_t)opt.lane]);
+  // Dedupe so each edge decrements `unmet` exactly once.
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  for (TaskId d : deps) FMMFFT_CHECK_MSG(d >= 0 && d < id, "deps must precede the task");
+
+  Task t;
+  t.fn = std::move(fn);
+  t.unmet = static_cast<int>(deps.size());
+  for (TaskId d : deps) tasks_[(std::size_t)d].succ.push_back(id);
+  tasks_.push_back(std::move(t));
+
+  TaskRecord rec;
+  rec.stage = opt.stage;
+  rec.span = rec.stage.empty() ? label : rec.stage + ":" + label;
+  rec.lane = opt.lane;
+  rec.ordered = opt.ordered;
+  records_.push_back(std::move(rec));
+
+  if (opt.ordered) lane_tail_[(std::size_t)opt.lane] = id;
+  return id;
+}
+
+void TaskGraph::worker_loop() {
+  const int total = static_cast<int>(tasks_.size());
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return head_ < ready_.size() || done_ == total || failed_; });
+    if (failed_ || done_ == total) return;
+    const TaskId id = ready_[head_++];
+    Task& t = tasks_[(std::size_t)id];
+    TaskRecord& rec = records_[(std::size_t)id];
+    lk.unlock();
+
+    rec.worker = ThreadPool::current_worker();
+    rec.start_ns = now_ns();
+    bool ok = true;
+    std::exception_ptr err;
+    {
+      obs::SpanScope span(rec.span.c_str());
+      FMMFFT_COUNT("exec.tasks_run", 1);
+      try {
+        t.fn();
+      } catch (...) {
+        ok = false;
+        err = std::current_exception();
+      }
+    }
+    rec.end_ns = now_ns();
+
+    lk.lock();
+    if (!ok) {
+      failed_ = true;
+      if (!error_) error_ = err;
+      cv_.notify_all();
+      return;
+    }
+    rec.run_seq = seq_++;
+    ++done_;
+    bool wake = done_ == total;
+    for (TaskId s : t.succ)
+      if (--tasks_[(std::size_t)s].unmet == 0) {
+        ready_.push_back(s);
+        wake = true;
+      }
+    if (wake) cv_.notify_all();
+  }
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  FMMFFT_CHECK_MSG(!ran_, "TaskGraph::run may be called once");
+  ran_ = true;
+  if (tasks_.empty()) return;
+  ready_.reserve(tasks_.size());
+  for (TaskId id = 0; id < size(); ++id)
+    if (tasks_[(std::size_t)id].unmet == 0) ready_.push_back(id);
+
+  FMMFFT_SPAN("exec:graph");
+  FMMFFT_COUNT("exec.graphs", 1);
+  FMMFFT_COUNT("exec.tasks", tasks_.size());
+  if (obs::metrics_enabled())
+    for (const TaskRecord& r : records_)
+      if (!r.stage.empty()) obs::Metrics::global().counter("exec.stage." + r.stage).increment();
+
+  const index_t workers =
+      std::min<index_t>(pool.workers(), static_cast<index_t>(tasks_.size()));
+  // Each chunk is one graph-drain worker; the pool's chunk dispatch hands
+  // every chunk to a distinct thread when enough workers are idle, and
+  // degrades to a single inline drain when nested or single-threaded.
+  const std::function<void(index_t)> drain = [this](index_t) { worker_loop(); };
+  pool.run_chunks(workers, drain);
+  if (error_) std::rethrow_exception(error_);
+  FMMFFT_CHECK_MSG(done_ == size(), "graph drained without completing every task");
+}
+
+}  // namespace fmmfft::exec

@@ -1,0 +1,141 @@
+// Dependency-driven async task executor for the native distributed drivers.
+//
+// The native twin of sim::Schedule: where the simulator *models* a
+// multi-device execution as ops with dependency edges timed under an
+// architecture (src/sim/schedule.hpp), TaskGraph *executes* one on the host.
+// Tasks bind to lanes — per-device ordered queues that serialize like CUDA
+// streams (DeviceLanes numbers one compute lane per device plus one copy
+// lane per directed device pair, mirroring the simulator's resources) — and
+// carry explicit cross-lane dependency edges. run() drains every ready task
+// on the existing fmmfft::ThreadPool, so device compute overlaps fabric
+// copies exactly where the schedule builders (dist/schedules.cpp) model
+// overlap.
+//
+// Determinism / bit-identity argument:
+//  * tasks submitted `ordered` on the same lane execute in submission
+//    order, one at a time — the per-device arithmetic order is exactly the
+//    serial driver's;
+//  * `unordered` tasks are used only for data-parallel work on disjoint
+//    ranges (independent FFT lines, pack/unpack of disjoint chunks), whose
+//    results do not depend on execution order;
+//  * task bodies run inside ThreadPool chunks, so nested parallel_for calls
+//    degrade to inline loops (ThreadPool::in_task()).
+// Outputs are therefore bit-identical to the serial driver at any worker
+// count; tests/test_exec.cpp enforces this byte-for-byte.
+//
+// Mode selection: FMMFFT_EXEC=serial keeps the old strictly-serial driver
+// loops for A/B measurement (bench_native's distributed e2e track);
+// anything else (default) uses the executor. ScopedMode overrides the mode
+// on the current thread for in-process A/B comparisons.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hpp"
+#include "common/types.hpp"
+
+namespace fmmfft::exec {
+
+using TaskId = int;
+
+enum class Mode { Serial, Async };
+
+/// Process default from FMMFFT_EXEC ("serial" -> Serial; default Async).
+Mode default_mode();
+/// Mode in effect on the calling thread (default_mode unless overridden).
+Mode mode();
+
+/// RAII thread-local mode override for in-process A/B comparisons.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m);
+  ~ScopedMode();
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+/// Lane numbering convention for a G-device graph: one compute lane per
+/// device and one copy lane per directed device pair (the simulator's
+/// NVLink-style dedicated links).
+struct DeviceLanes {
+  int g = 1;
+  explicit DeviceLanes(int g_) : g(g_) {}
+  int compute(int d) const { return d; }
+  int copy(int src, int dst) const { return g + src * g + dst; }
+  int count() const { return g + g * g; }
+};
+
+/// Post-run record of one task's completion (the graph's "future" side:
+/// who ran it, when, and in which global completion order).
+struct TaskRecord {
+  std::string span;   ///< obs span name ("<stage>:<label>")
+  std::string stage;  ///< coarse attribution tag ("fmm", "post", "fft", "a2a")
+  int lane = 0;
+  bool ordered = true;
+  std::uint64_t start_ns = 0;  ///< steady-clock ns (0 if never ran)
+  std::uint64_t end_ns = 0;
+  int worker = -1;    ///< ThreadPool::current_worker() that executed it
+  int run_seq = -1;   ///< global completion order (-1 if cancelled)
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(int lanes);
+
+  struct Options {
+    int lane = 0;
+    bool ordered = true;     ///< FIFO after the previous ordered task on lane
+    const char* stage = "";  ///< obs attribution tag
+  };
+
+  /// Add a task running `fn` after every task in `deps` (ids must already
+  /// exist, so submission order is a topological order). Ordered tasks also
+  /// wait for the previous ordered task on their lane.
+  TaskId submit(std::string label, const Options& opt, std::function<void()> fn,
+                std::vector<TaskId> deps = {});
+
+  /// Execute the whole graph on `pool`, blocking until every task completed
+  /// (or the graph was cancelled by a failure). The first task exception is
+  /// rethrown; tasks not yet started when a failure hits never run.
+  void run(ThreadPool& pool = ThreadPool::global());
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  int lanes() const { return static_cast<int>(lane_tail_.size()); }
+
+  /// Per-task completion records; valid after run() returned.
+  const std::vector<TaskRecord>& records() const { return records_; }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<TaskId> succ;
+    int unmet = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<Task> tasks_;
+  std::vector<TaskRecord> records_;
+  std::vector<TaskId> lane_tail_;  // last ordered task per lane (-1 = none)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<TaskId> ready_;  // FIFO via head_
+  std::size_t head_ = 0;
+  int done_ = 0;
+  int seq_ = 0;
+  bool failed_ = false;
+  bool ran_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace fmmfft::exec

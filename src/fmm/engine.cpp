@@ -70,6 +70,23 @@ Engine<T>::Engine(const Params& prm, int components, index_t g, index_t rank)
   } else {
     m2l_scratch_ = Buffer<T>(c_ * (prm_.p - 1) * prm_.q * prm_.q);
   }
+  // Resolve operator slab pointers once, after the cache stops growing:
+  // std::map nodes are pointer-stable, so these stay valid for the engine's
+  // lifetime and the per-call path never touches the map.
+  m2l_level_ops_.resize(static_cast<std::size_t>(prm_.l() - prm_.b));
+  for (int lev = prm_.b + 1; lev <= prm_.l(); ++lev) {
+    auto& ops = m2l_level_ops_[(std::size_t)(lev - prm_.b - 1)];
+    const auto seps = level_separations();
+    for (std::size_t k = 0; k < seps.size(); ++k)
+      ops[k] = m2l_cache_.at({lev, seps[k]}).data();
+  }
+  if (base_boxes >= 4) {
+    m2l_base_ops_.assign(static_cast<std::size_t>(base_boxes - 3), nullptr);
+    for (index_t sep = 2; sep <= base_boxes - 2; ++sep) {
+      auto it = m2l_cache_.find({prm_.b, sep});
+      if (it != m2l_cache_.end()) m2l_base_ops_[(std::size_t)(sep - 2)] = it->second.data();
+    }
+  }
 
   s_ = Buffer<T>(cp_ * prm_.ml * (nb_leaf_ + 2));
   t_ = Buffer<T>(cp_ * prm_.ml * nb_leaf_);
@@ -86,6 +103,14 @@ Engine<T>::Engine(const Params& prm, int components, index_t g, index_t rank)
       mult_[(std::size_t)(lev - prm_.b)] = Buffer<T>(cpm_ * prm_.q * (nbl + 4));
     local_[(std::size_t)(lev - prm_.b)] = Buffer<T>(cpm_ * prm_.q * nbl);
   }
+}
+
+template <typename T>
+void Engine<T>::record_stage(StageStats st, double seconds) {
+  st.seconds = seconds;
+  count_stage(st);
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.push_back(std::move(st));
 }
 
 template <typename T>
@@ -136,13 +161,12 @@ void Engine<T>::s2m() {
   blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::T, cpm_, q, ml, T(1),
                                 source_box(0) + c_, cp_, cp_ * ml, s2m_op_.data(), q, 0, T(0),
                                 dst, cpm_, cpm_ * q, nb_leaf_);
-  stats_.push_back({"S2M", KernelClass::BatchedGemm,
-                    2.0 * double(cpm_) * double(q) * double(ml) * double(nb_leaf_),
-                    double(sizeof(T)) * (double(cpm_ * ml * nb_leaf_) +
-                                         double(cpm_ * q * nb_leaf_) + double(q * ml)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"S2M", KernelClass::BatchedGemm,
+                2.0 * double(cpm_) * double(q) * double(ml) * double(nb_leaf_),
+                double(sizeof(T)) * (double(cpm_ * ml * nb_leaf_) +
+                                     double(cpm_ * q * nb_leaf_) + double(q * ml)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -155,13 +179,12 @@ void Engine<T>::m2m(int level) {
   blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::T, cpm_, q, 2 * q, T(1),
                                 multipole_box(level + 1, 0), cpm_, 2 * cpm_ * q,
                                 m2m_op_.data(), q, 0, T(0), dst, cpm_, cpm_ * q, nbl);
-  stats_.push_back({"M2M-" + std::to_string(level), KernelClass::BatchedGemm,
-                    4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
-                    double(sizeof(T)) * (double(2 * cpm_ * q * nbl) +
-                                         double(cpm_ * q * nbl) + double(2 * q * q)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"M2M-" + std::to_string(level), KernelClass::BatchedGemm,
+                4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
+                double(sizeof(T)) * (double(2 * cpm_ * q * nbl) +
+                                     double(cpm_ * q * nbl) + double(2 * q * q)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -197,13 +220,12 @@ void Engine<T>::s2t() {
         }
       },
       /*grain=*/1);
-  stats_.push_back({"S2T", KernelClass::Custom,
-                    2.0 * 3.0 * double(ml) * double(ml) * double(cp_) * double(nb_leaf_),
-                    double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
-                                         2.0 * double(cp_ * ml * nb_leaf_)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"S2T", KernelClass::Custom,
+                2.0 * 3.0 * double(ml) * double(ml) * double(cp_) * double(nb_leaf_),
+                double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
+                                     2.0 * double(cp_ * ml * nb_leaf_)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -256,17 +278,18 @@ void Engine<T>::m2l_level(int level) {
   WallTimer stage_timer_;
   FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
   const index_t q = prm_.q, nbl = local_boxes(level);
-  for (index_t s : level_separations()) apply_m2l(level, s, m2l_operator(level, s), false);
+  const auto& seps = level_separations();
+  const auto& ops = m2l_level_ops_[(std::size_t)(level - prm_.b - 1)];
+  for (std::size_t k = 0; k < seps.size(); ++k) apply_m2l(level, seps[k], ops[k], false);
   // 3 cousins per box regardless of parity.
   // Mops: M^l read once (with halo) and L^l accumulated (read + write) —
   // the interaction-list reuse a tiled kernel achieves (§5.3 conventions).
-  stats_.push_back({"M2L-" + std::to_string(level), KernelClass::Custom,
-                    2.0 * 3.0 * double(q) * double(q) * double(cpm_) * double(nbl),
-                    double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
-                                         double(cpm_ * q * (nbl + 4))),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"M2L-" + std::to_string(level), KernelClass::Custom,
+                2.0 * 3.0 * double(q) * double(q) * double(cpm_) * double(nbl),
+                double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
+                                     double(cpm_ * q * (nbl + 4))),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -275,17 +298,18 @@ void Engine<T>::m2l_base() {
   WallTimer stage_timer_;
   const index_t q = prm_.q, nbl = local_boxes(prm_.b);
   const index_t nb_global = prm_.boxes(prm_.b);
-  for (index_t s = 2; s <= nb_global - 2; ++s)
-    apply_m2l(prm_.b, s, m2l_operator(prm_.b, s), true);
+  for (index_t s = 2; s <= nb_global - 2; ++s) {
+    const T* tab = m2l_base_ops_[(std::size_t)(s - 2)];
+    apply_m2l(prm_.b, s, tab ? tab : m2l_operator(prm_.b, s), true);
+  }
   // Mops: the gathered global M^B streams once, L^B accumulates.
   const double nsrc = double(nb_global - 3);
-  stats_.push_back({"M2L-B", KernelClass::Custom,
-                    2.0 * nsrc * double(q) * double(q) * double(cpm_) * double(nbl),
-                    double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
-                                         double(cpm_ * q * nb_global)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"M2L-B", KernelClass::Custom,
+                2.0 * nsrc * double(q) * double(q) * double(cpm_) * double(nbl),
+                double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
+                                     double(cpm_ * q * nb_global)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -298,10 +322,9 @@ void Engine<T>::reduce() {
   const index_t cols = prm_.q * prm_.boxes(prm_.b);
   blas::gemv<T>(blas::Op::N, cpm_, cols, T(1), multipole_box(prm_.b, 0), cpm_, ones_q_.data(),
                 1, T(0), r_.data(), 1);
-  stats_.push_back({"REDUCE", KernelClass::Gemv, 2.0 * double(cpm_) * double(cols),
-                    double(sizeof(T)) * (double(cpm_ * cols) + double(cpm_)), 1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"REDUCE", KernelClass::Gemv, 2.0 * double(cpm_) * double(cols),
+                double(sizeof(T)) * (double(cpm_ * cols) + double(cpm_)), 1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -313,13 +336,12 @@ void Engine<T>::l2l(int level) {
   blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, cpm_, 2 * q, q, T(1),
                                 local_box(level, 0), cpm_, cpm_ * q, m2m_op_.data(), q, 0, T(1),
                                 local_box(level + 1, 0), cpm_, 2 * cpm_ * q, nbl);
-  stats_.push_back({"L2L-" + std::to_string(level), KernelClass::BatchedGemm,
-                    4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
-                    double(sizeof(T)) * (double(cpm_ * q * nbl) + double(2 * q * q) +
-                                         2.0 * double(2 * cpm_ * q * nbl)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"L2L-" + std::to_string(level), KernelClass::BatchedGemm,
+                4.0 * double(cpm_) * double(q) * double(q) * double(nbl),
+                double(sizeof(T)) * (double(cpm_ * q * nbl) + double(2 * q * q) +
+                                     2.0 * double(2 * cpm_ * q * nbl)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -330,13 +352,12 @@ void Engine<T>::l2t() {
   blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, cpm_, ml, q, T(1),
                                 local_box(prm_.l(), 0), cpm_, cpm_ * q, s2m_op_.data(), q, 0,
                                 T(1), target_box(0) + c_, cp_, cp_ * ml, nb_leaf_);
-  stats_.push_back({"L2T", KernelClass::BatchedGemm,
-                    2.0 * double(cpm_) * double(ml) * double(q) * double(nb_leaf_),
-                    double(sizeof(T)) * (double(cpm_ * q * nb_leaf_) + double(q * ml) +
-                                         2.0 * double(cpm_ * ml * nb_leaf_)),
-                    1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"L2T", KernelClass::BatchedGemm,
+                2.0 * double(cpm_) * double(ml) * double(q) * double(nb_leaf_),
+                double(sizeof(T)) * (double(cpm_ * q * nb_leaf_) + double(q * ml) +
+                                     2.0 * double(cpm_ * ml * nb_leaf_)),
+                1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -346,9 +367,8 @@ void Engine<T>::fill_source_halo_cyclic() {
   const index_t be = source_box_elems();
   std::memcpy(source_box(-1), source_box(nb_leaf_ - 1), sizeof(T) * be);
   std::memcpy(source_box(nb_leaf_), source_box(0), sizeof(T) * be);
-  stats_.push_back({"COMM-S", KernelClass::Copy, 0.0, double(sizeof(T)) * 2 * be, 1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"COMM-S", KernelClass::Copy, 0.0, double(sizeof(T)) * 2 * be, 1},
+               stage_timer_.seconds());
 }
 
 template <typename T>
@@ -359,10 +379,9 @@ void Engine<T>::fill_multipole_halo_cyclic(int level) {
   const index_t nbl = local_boxes(level), ee = expansion_box_elems();
   std::memcpy(multipole_box(level, -2), multipole_box(level, nbl - 2), sizeof(T) * 2 * ee);
   std::memcpy(multipole_box(level, nbl), multipole_box(level, 0), sizeof(T) * 2 * ee);
-  stats_.push_back({"COMM-M" + std::to_string(level), KernelClass::Copy, 0.0,
-                    double(sizeof(T)) * 4 * ee, 1});
-  stats_.back().seconds = stage_timer_.seconds();
-  count_stage(stats_.back());
+  record_stage({"COMM-M" + std::to_string(level), KernelClass::Copy, 0.0,
+                double(sizeof(T)) * 4 * ee, 1},
+               stage_timer_.seconds());
 }
 
 template <typename T>

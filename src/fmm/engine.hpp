@@ -20,7 +20,9 @@
 //   r   cpm                      reduction of the constant +i term
 #pragma once
 
+#include <array>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,14 +77,22 @@ class Engine {
 
   /// Pointer to S at logical box b (b = -1 and b = nb are the halo boxes).
   T* source_box(index_t b);
+  const T* source_box(index_t b) const { return const_cast<Engine*>(this)->source_box(b); }
   /// Pointer to T at local box b in [0, nb).
   T* target_box(index_t b);
+  const T* target_box(index_t b) const { return const_cast<Engine*>(this)->target_box(b); }
   /// Multipoles at `level`: interior box b (halo boxes at b = -2..-1 and
   /// nb..nb+1 for B < level <= L). For level == B this addresses the
   /// *global* buffer, so b is a global box index.
   T* multipole_box(int level, index_t b);
+  const T* multipole_box(int level, index_t b) const {
+    return const_cast<Engine*>(this)->multipole_box(level, b);
+  }
   /// Locals at `level`, local box b in [0, 2^level/g).
   T* local_box(int level, index_t b);
+  const T* local_box(int level, index_t b) const {
+    return const_cast<Engine*>(this)->local_box(level, b);
+  }
   const T* reduction() const { return r_.data(); }
 
   index_t source_box_elems() const { return cp_ * prm_.ml; }
@@ -106,9 +116,13 @@ class Engine {
   /// Full local pipeline with cyclic halos; valid only when g == 1.
   void run_single_node();
 
-  /// Per-launch operation counts recorded since the last reset.
+  /// Per-launch operation counts recorded since the last reset. Read
+  /// between graph executions, never concurrently with stage calls.
   const std::vector<StageStats>& stats() const { return stats_; }
-  void reset_stats() { stats_.clear(); }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.clear();
+  }
 
  private:
   void apply_m2l(int level, index_t s, const T* tab, bool base);
@@ -116,6 +130,10 @@ class Engine {
   /// large base levels where caching all 2^B-3 slabs would be prohibitive)
   /// built on the fly.
   const T* m2l_operator(int level, index_t s);
+  /// Append one stage's counts; safe from concurrent executor tasks
+  /// (distinct engines never contend, but the stats vector is also read by
+  /// driver-level aggregation while other engines still run).
+  void record_stage(StageStats st, double seconds);
 
   Params prm_;
   int c_;
@@ -129,6 +147,12 @@ class Engine {
   Buffer<T> ones_q_;   // length Q·2^B of ones, for the reduction GEMV
   std::map<std::pair<int, index_t>, Buffer<T>> m2l_cache_;  // (level, s)
   Buffer<T> m2l_scratch_;  // on-the-fly slab for uncached base separations
+  // Hot-path operator pointers resolved once at ctor time (map lookups are
+  // off the per-call path). m2l_level_ops_[lev - B - 1][k] follows the
+  // level_separations() order; m2l_base_ops_[s - 2] is null for base
+  // separations too numerous to cache (built on the fly into the scratch).
+  std::vector<std::array<const T*, 4>> m2l_level_ops_;
+  std::vector<const T*> m2l_base_ops_;
 
   // Tensors.
   Buffer<T> s_, t_;
@@ -136,6 +160,7 @@ class Engine {
   std::vector<Buffer<T>> local_;  // index ℓ-B
   Buffer<T> r_;
 
+  std::mutex stats_mu_;
   std::vector<StageStats> stats_;
 };
 

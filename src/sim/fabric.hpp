@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,13 @@ class Fabric {
     std::memmove(d, s, sizeof(T) * static_cast<std::size_t>(count));
     if (src != dst) {
       const double bytes = double(sizeof(T)) * double(count);
-      ledger_.push_back({src, dst, bytes, tag});
+      {
+        // The async executor issues copies from concurrent tasks; the ledger
+        // is the only shared mutable state (the payload regions are disjoint
+        // by construction of the dependency graph).
+        std::lock_guard<std::mutex> lk(mu_);
+        ledger_.push_back({src, dst, bytes, tag});
+      }
       FMMFFT_COUNT("fabric.sends", 1);
       FMMFFT_COUNT("fabric.bytes", bytes);
       // Per-tag byte counters feed obs::compare_with_model; the name is
@@ -47,9 +54,13 @@ class Fabric {
     }
   }
 
+  /// Readers run between graph executions (tests, reports), never
+  /// concurrently with send(); the lock still guards against torn reads
+  /// if they ever do.
   const std::vector<Transfer>& transfers() const { return ledger_; }
 
   double total_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
     double b = 0;
     for (const auto& t : ledger_) b += t.bytes;
     return b;
@@ -57,6 +68,7 @@ class Fabric {
 
   /// Bytes sent by one device (the §5.2 counts are per process).
   double bytes_sent_by(int device) const {
+    std::lock_guard<std::mutex> lk(mu_);
     double b = 0;
     for (const auto& t : ledger_)
       if (t.src == device) b += t.bytes;
@@ -64,16 +76,21 @@ class Fabric {
   }
 
   double bytes_with_tag(const std::string& tag) const {
+    std::lock_guard<std::mutex> lk(mu_);
     double b = 0;
     for (const auto& t : ledger_)
       if (t.tag == tag) b += t.bytes;
     return b;
   }
 
-  void reset() { ledger_.clear(); }
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ledger_.clear();
+  }
 
  private:
   int g_;
+  mutable std::mutex mu_;
   std::vector<Transfer> ledger_;
 };
 

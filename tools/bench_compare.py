@@ -75,12 +75,36 @@ def compare_native(baseline_path, fresh_path):
     for name in fresh.keys() - base.keys():
         print(f"note: new bench {name} (not in baseline; commit a refresh to track it)")
 
+    print_overlap_ratios(base, fresh)
+
     if failures:
         print(f"\nNATIVE BENCH FAILED ({len(failures)} failure(s)):")
         for msg in failures:
             print(f"  {msg}")
         sys.exit(1)
     print(f"\nnative bench OK ({len(base)} benches present; wall deltas report-only)")
+
+
+def print_overlap_ratios(base, fresh):
+    """Report-only async/serial speedups for the distributed e2e pairs.
+
+    Every `<name>_serial` bench with a matching `<name>_async` yields one
+    row: serial/async wall time (>1 means the executor overlapped compute
+    with copies). Ratios depend on hardware threads, so they never gate.
+    """
+    pairs = sorted(n[: -len("_serial")] for n in base
+                   if n.endswith("_serial") and n[: -len("_serial")] + "_async" in base)
+    if not pairs:
+        return
+    print("\nasync executor overlap (serial wall / async wall, report-only):")
+    for stem in pairs:
+        row = [stem]
+        for src, tag in ((base, "baseline"), (fresh, "fresh")):
+            s = src.get(stem + "_serial")
+            a = src.get(stem + "_async")
+            if s and a and a["value"] > 0:
+                row.append(f"{tag} {s['value'] / a['value']:.2f}x")
+        print("  " + "  ".join(row))
 
 
 def main():
