@@ -29,6 +29,7 @@
 #include "dist/dfmmfft.hpp"
 #include "exec/executor.hpp"
 #include "fft/fft.hpp"
+#include "fmm/engine.hpp"
 #include "fmm/params.hpp"
 #include "obs/trace_writer.hpp"
 
@@ -61,15 +62,21 @@ void bench_gemm_single(const std::string& name, index_t m, index_t n, index_t k)
   record(name, "gflops", blas::gemm_flops(m, n, k) / sec / 1e9, sec);
 }
 
+/// `shared_b` benches the engine-accurate call: one operator B shared by
+/// every item (stride_b = 0), which dispatches into the batch-fused
+/// shared-B fast path. `shared_b = false` keeps a per-item B for contrast
+/// (the per-item parallel_for dispatch).
 template <typename T>
-void bench_gemm_batched(const std::string& name, index_t m, index_t n, index_t k,
-                        index_t batch) {
-  Buffer<T> a(m * k * batch), b(k * n * batch), c(m * n * batch);
+void bench_gemm_batched(const std::string& name, index_t m, index_t n, index_t k, index_t batch,
+                        bool shared_b) {
+  const index_t b_copies = shared_b ? 1 : batch;
+  Buffer<T> a(m * k * batch), b(k * n * b_copies), c(m * n * batch);
   fill_uniform(a.data(), m * k * batch, 3);
-  fill_uniform(b.data(), k * n * batch, 4);
+  fill_uniform(b.data(), k * n * b_copies, 4);
+  const index_t stride_b = shared_b ? 0 : k * n;
   double sec = time_best([&] {
     blas::gemm_strided_batched<T>(blas::Op::N, blas::Op::N, m, n, k, T(1), a.data(), m, m * k,
-                                  b.data(), k, k * n, T(0), c.data(), m, m * n, batch);
+                                  b.data(), k, stride_b, T(0), c.data(), m, m * n, batch);
   });
   record(name, "gflops", double(batch) * blas::gemm_flops(m, n, k) / sec / 1e9, sec);
 }
@@ -91,6 +98,50 @@ void bench_transpose(const std::string& name, index_t rows, index_t cols) {
   double sec = time_best([&] { transpose_blocked(x.data(), y.data(), rows, cols); });
   // Read + write of the full array.
   record(name, "gbytes_per_s", 2.0 * double(rows) * double(cols) * sizeof(Cx) / sec / 1e9, sec);
+}
+
+/// Standalone M2L / S2T kernel benches: the SIMD + separation-fused fast
+/// paths against the scalar per-separation reference loops, on live engine
+/// state (sources loaded, multipole tree built, halos filled). Both paths
+/// produce bit-identical outputs; the delta here is pure kernel speed.
+void bench_engine_kernels() {
+  using E = fmm::Engine<double>;
+  auto prime = [](E& eng, const fmm::Params& prm) {
+    fill_uniform(eng.source_box(0), eng.source_box_elems() * eng.local_leaves(), 8);
+    eng.zero();
+    eng.s2m();
+    eng.fill_source_halo_cyclic();
+    for (int lev = prm.l() - 1; lev >= prm.b; --lev) eng.m2m(lev);
+    if (prm.l() > prm.b) eng.fill_multipole_halo_cyclic(prm.l());
+  };
+
+  {
+    // The e2e CD configuration: leaf level L=6 with 64 boxes of M_L=16.
+    const fmm::Params prm{index_t(1) << 16, 64, 16, 2, 14};
+    E eng(prm, 2);
+    prime(eng, prm);
+    double sec = time_best([&] { eng.s2t(); });
+    record("fmm_s2t_n16", "seconds", sec, sec);
+    sec = time_best([&] { eng.s2t_reference(); });
+    record("fmm_s2t_n16_ref", "seconds", sec, sec);
+    sec = time_best([&] { eng.m2l_level(prm.l()); });
+    record("fmm_m2l_leaf_n16", "seconds", sec, sec);
+    sec = time_best([&] { eng.m2l_level_reference(prm.l()); });
+    record("fmm_m2l_leaf_n16_ref", "seconds", sec, sec);
+    eng.reset_stats();
+  }
+  {
+    // Big-base configuration: B=6 gives 64 base boxes (61 separations), so
+    // m2l_base runs the LRU-backed fused sweep over many operator slabs.
+    const fmm::Params prm{index_t(1) << 14, 64, 4, 6, 10};
+    E eng(prm, 2);
+    prime(eng, prm);
+    double sec = time_best([&] { eng.m2l_base(); });
+    record("fmm_m2l_base_bb64", "seconds", sec, sec);
+    sec = time_best([&] { eng.m2l_base_reference(); });
+    record("fmm_m2l_base_bb64_ref", "seconds", sec, sec);
+    eng.reset_stats();
+  }
 }
 
 void bench_fmmfft_e2e() {
@@ -154,10 +205,14 @@ int main(int argc, char** argv) {
   bench_gemm_single<double>("gemm_f64_512", 512, 512, 512);
   bench_gemm_single<float>("gemm_f32_256", 256, 256, 256);
   // S2M/L2T shape: C·P rows × Q coeffs × M_L leaf points (C=2, P=256, Q=18,
-  // M_L=8), one problem per leaf box.
-  bench_gemm_batched<double>("gemm_f64_batched_s2m", 512, 18, 8, 64);
+  // M_L=8), one problem per leaf box — every box against the SAME operator
+  // (stride_b = 0), exactly how the engine calls gemm_strided_batched.
+  bench_gemm_batched<double>("gemm_f64_batched_s2m", 512, 18, 8, 64, /*shared_b=*/true);
   // M2M/L2L shape: the flattened two-child operator, k = 2Q.
-  bench_gemm_batched<double>("gemm_f64_batched_m2m", 512, 18, 36, 32);
+  bench_gemm_batched<double>("gemm_f64_batched_m2m", 512, 18, 36, 32, /*shared_b=*/true);
+  // Per-item-B contrast: same shapes through the per-item dispatch path.
+  bench_gemm_batched<double>("gemm_f64_batched_s2m_peritem", 512, 18, 8, 64, false);
+  bench_gemm_batched<double>("gemm_f64_batched_m2m_peritem", 512, 18, 36, 32, false);
 
   // Batched FFTs at the 2D-FFT stage's shapes: many size-P lines, fewer
   // size-M lines, plus a Bluestein (non-pow2) size.
@@ -169,6 +224,8 @@ int main(int argc, char** argv) {
 
   // The Π_{M,P} permutation / Plan2D transpose primitive.
   bench_transpose("transpose_c64_1024", 1024, 1024);
+
+  bench_engine_kernels();
 
   bench_fmmfft_e2e();
 

@@ -96,7 +96,8 @@ Dist2dFft<T>::Dist2dFft(index_t m, index_t p, int g)
 template <typename T>
 void Dist2dFft<T>::execute_slabs(const std::vector<std::complex<T>*>& slabs,
                                  sim::Fabric& fabric) {
-  if (exec::mode() == exec::Mode::Serial) {
+  // Per-device slab of the m×p grid decides Auto, as in DistFmmFft.
+  if (exec::resolve_mode(m_ * p_ / g_) == exec::Mode::Serial) {
     execute_slabs_serial(slabs, fabric);
     return;
   }

@@ -60,8 +60,9 @@ class Dist2dFft {
   void execute(const std::complex<T>* in, std::complex<T>* out);
 
   /// In-place variant over externally owned per-device slabs of N/G
-  /// elements (used by the distributed FMM-FFT to avoid staging). Runs
-  /// through the async executor unless exec::mode() == Serial.
+  /// elements (used by the distributed FMM-FFT to avoid staging). Driver
+  /// choice via exec::resolve_mode on the per-device slab size: explicit
+  /// Serial/Async pass through, Auto (the default) applies the work floor.
   void execute_slabs(const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric);
 
   /// Async building block: submit the whole 2D FFT as tasks on `graph` —

@@ -116,7 +116,9 @@ void DistFmmFft<InT>::post_slab(int r) {
 
 template <typename InT>
 void DistFmmFft<InT>::execute(const InT* in, Out* out) {
-  if (exec::mode() == exec::Mode::Serial)
+  // Auto mode keys off the per-device slab: below the floor the task
+  // graph's submit/run overhead beats the compute/copy overlap it buys.
+  if (exec::resolve_mode(prm_.n / g_) == exec::Mode::Serial)
     execute_serial(in, out);
   else
     execute_async(in, out);

@@ -32,10 +32,12 @@ class DistFmmFft {
   const fmm::Params& params() const { return prm_; }
   int num_devices() const { return g_; }
 
-  /// Host-staged execute: out = F_N · in, both length N. Dispatches to the
-  /// async task-graph executor unless exec::mode() == Serial
-  /// (FMMFFT_EXEC=serial or exec::ScopedMode); both paths produce
-  /// bit-identical output at any worker count.
+  /// Host-staged execute: out = F_N · in, both length N. Driver choice via
+  /// exec::resolve_mode on the per-device slab size (N/G): explicit
+  /// Serial/Async (FMMFFT_EXEC or exec::ScopedMode) pass through, Auto —
+  /// the default — picks Serial below the work floor where the graph's
+  /// overhead outweighs overlap. Both paths produce bit-identical output
+  /// at any worker count.
   void execute(const InT* in, Out* out);
 
   const sim::Fabric& fabric() const { return fabric_; }

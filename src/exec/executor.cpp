@@ -28,12 +28,38 @@ Mode default_mode() {
   static const Mode m = [] {
     const char* env = std::getenv("FMMFFT_EXEC");
     if (env && std::strcmp(env, "serial") == 0) return Mode::Serial;
-    return Mode::Async;
+    if (env && std::strcmp(env, "async") == 0) return Mode::Async;
+    return Mode::Auto;
   }();
   return m;
 }
 
 Mode mode() { return tl_mode(); }
+
+index_t auto_work_floor() {
+  static const index_t f = [] {
+    if (const char* env = std::getenv("FMMFFT_EXEC_FLOOR")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(env, &end, 10);
+      if (end != env && v >= 0) return static_cast<index_t>(v);
+    }
+    return index_t(65536);
+  }();
+  return f;
+}
+
+Mode resolve_mode(index_t per_device_elems) {
+  const Mode m = mode();
+  if (m != Mode::Auto) return m;
+  const index_t floor = auto_work_floor();
+  if (obs::metrics_enabled()) obs::Metrics::global().gauge("exec.auto.floor").set(double(floor));
+  if (per_device_elems < floor) {
+    FMMFFT_COUNT("exec.auto.serial", 1);
+    return Mode::Serial;
+  }
+  FMMFFT_COUNT("exec.auto.async", 1);
+  return Mode::Async;
+}
 
 ScopedMode::ScopedMode(Mode m) : prev_(tl_mode()) { tl_mode() = m; }
 ScopedMode::~ScopedMode() { tl_mode() = prev_; }

@@ -24,9 +24,14 @@
 // count; tests/test_exec.cpp enforces this byte-for-byte.
 //
 // Mode selection: FMMFFT_EXEC=serial keeps the old strictly-serial driver
-// loops for A/B measurement (bench_native's distributed e2e track);
-// anything else (default) uses the executor. ScopedMode overrides the mode
-// on the current thread for in-process A/B comparisons.
+// loops for A/B measurement (bench_native's distributed e2e track),
+// FMMFFT_EXEC=async forces the executor, and the default (auto) picks per
+// driver call: below a per-device work floor (FMMFFT_EXEC_FLOOR elements)
+// the graph's submit/run overhead outweighs the overlap, so Auto resolves
+// to Serial; at or above it, to Async. Either way the outputs are
+// bit-identical — the mode only chooses *when* overlap is worth it.
+// ScopedMode overrides the mode on the current thread for in-process A/B
+// comparisons.
 #pragma once
 
 #include <condition_variable>
@@ -44,12 +49,26 @@ namespace fmmfft::exec {
 
 using TaskId = int;
 
-enum class Mode { Serial, Async };
+enum class Mode { Serial, Async, Auto };
 
-/// Process default from FMMFFT_EXEC ("serial" -> Serial; default Async).
+/// Process default from FMMFFT_EXEC ("serial" -> Serial, "async" -> Async;
+/// default Auto).
 Mode default_mode();
 /// Mode in effect on the calling thread (default_mode unless overridden).
 Mode mode();
+
+/// Per-device work floor (tensor elements) below which Auto resolves to
+/// Serial. FMMFFT_EXEC_FLOOR overrides the default of 65536 (chosen from
+/// BENCH_native: the g=4 slab of an N=2^16 transform, 16384 elements, runs
+/// ~7% slower through the task graph than through the serial loops).
+index_t auto_work_floor();
+
+/// Resolve the effective mode for one driver execution whose per-device
+/// working set is `per_device_elems` tensor elements. Serial/Async pass
+/// through; Auto applies the work floor. The decision lands in the metrics
+/// JSON (exec.auto.serial / exec.auto.async counters, exec.auto.floor
+/// gauge) so runs record which path executed.
+Mode resolve_mode(index_t per_device_elems);
 
 /// RAII thread-local mode override for in-process A/B comparisons.
 class ScopedMode {

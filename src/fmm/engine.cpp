@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "blas/blas.hpp"
+#include "blas/simd.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/threadpool.hpp"
@@ -67,9 +68,9 @@ Engine<T>::Engine(const Params& prm, int components, index_t g, index_t rank)
     for (index_t sep = 2; sep <= base_boxes - 2; ++sep)
       m2l_cache_.emplace(std::make_pair(prm_.b, sep),
                          cast_buffer<T>(m2l_table(prm_, prm_.b, sep, c_)));
-  } else {
-    m2l_scratch_ = Buffer<T>(c_ * (prm_.p - 1) * prm_.q * prm_.q);
   }
+  // Larger base levels build their slabs on first use into the keyed LRU
+  // (m2l_operator), so repeated executes of one plan pay the build once.
   // Resolve operator slab pointers once, after the cache stops growing:
   // std::map nodes are pointer-stable, so these stay valid for the engine's
   // lifetime and the per-call path never touches the map.
@@ -199,7 +200,41 @@ void Engine<T>::s2t() {
   const index_t ml = prm_.ml;
   constexpr index_t kPcw = 64;
   // Boxes are independent targets: share them across the pool; within a
-  // worker's range, block pc so the active table slice stays cached.
+  // worker's range, block pc so the active table slice stays cached. The
+  // inner pc stream is the shared SIMD mul-accumulate (this TU builds with
+  // contraction off, so it is bit-identical to the scalar reference loop).
+  parallel_for(
+      nb_leaf_,
+      [&](index_t b_lo, index_t b_hi) {
+        for (index_t pc0 = 0; pc0 < cp_; pc0 += kPcw) {
+          const index_t w = std::min(kPcw, cp_ - pc0);
+          for (index_t b = b_lo; b < b_hi; ++b) {
+            const T* sb = source_box(b) + pc0;
+            T* tb = target_box(b) + pc0;
+            for (index_t i = 0; i < ml; ++i) {
+              T* trow = tb + cp_ * i;
+              for (index_t j = -ml; j < 2 * ml; ++j)
+                simd::mul_add_stream(trow, s2t_tab_.data() + (j - i + 2 * ml - 1) * cp_ + pc0,
+                                     sb + cp_ * j, w);
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  record_stage({"S2T", KernelClass::Custom,
+                2.0 * 3.0 * double(ml) * double(ml) * double(cp_) * double(nb_leaf_),
+                double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
+                                     2.0 * double(cp_ * ml * nb_leaf_)),
+                1},
+               stage_timer_.seconds());
+}
+
+template <typename T>
+void Engine<T>::s2t_reference() {
+  // Pre-SIMD S2T: same blocking and per-element accumulation order, scalar
+  // inner loop. Identity oracle for s2t(); records no stats.
+  const index_t ml = prm_.ml;
+  constexpr index_t kPcw = 64;
   parallel_for(
       nb_leaf_,
       [&](index_t b_lo, index_t b_hi) {
@@ -220,22 +255,29 @@ void Engine<T>::s2t() {
         }
       },
       /*grain=*/1);
-  record_stage({"S2T", KernelClass::Custom,
-                2.0 * 3.0 * double(ml) * double(ml) * double(cp_) * double(nb_leaf_),
-                double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
-                                     2.0 * double(cp_ * ml * nb_leaf_)),
-                1},
-               stage_timer_.seconds());
 }
 
 template <typename T>
 const T* Engine<T>::m2l_operator(int level, index_t s) {
   auto it = m2l_cache_.find({level, s});
   if (it != m2l_cache_.end()) return it->second.data();
-  const auto tab = m2l_table(prm_, level, s, c_);
-  for (index_t i = 0; i < m2l_scratch_.size(); ++i)
-    m2l_scratch_[i] = static_cast<T>(tab[(std::size_t)i]);
-  return m2l_scratch_.data();
+  // Keyed LRU for slabs too numerous to precompute. Slabs stay pinned while
+  // they remain within capacity, so m2l_base can resolve every separation's
+  // pointer up front and fuse the separation loop per box.
+  const M2lKey key{level, s};
+  auto pos = m2l_lru_pos_.find(key);
+  if (pos != m2l_lru_pos_.end()) {
+    m2l_lru_.splice(m2l_lru_.begin(), m2l_lru_, pos->second);
+    return m2l_lru_.front().second.data();
+  }
+  FMMFFT_COUNT("fmm.m2l_slab_builds", 1);
+  m2l_lru_.emplace_front(key, cast_buffer<T>(m2l_table(prm_, level, s, c_)));
+  m2l_lru_pos_[key] = m2l_lru_.begin();
+  if (m2l_lru_.size() > kM2lLruCapacity) {
+    m2l_lru_pos_.erase(m2l_lru_.back().first);
+    m2l_lru_.pop_back();
+  }
+  return m2l_lru_.front().second.data();
 }
 
 template <typename T>
@@ -277,10 +319,38 @@ void Engine<T>::m2l_level(int level) {
   FMMFFT_SPAN("M2L");
   WallTimer stage_timer_;
   FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
-  const index_t q = prm_.q, nbl = local_boxes(level);
+  const index_t q = prm_.q, nbl = local_boxes(level), off = box_offset(level);
   const auto& seps = level_separations();
   const auto& ops = m2l_level_ops_[(std::size_t)(level - prm_.b - 1)];
-  for (std::size_t k = 0; k < seps.size(); ++k) apply_m2l(level, seps[k], ops[k], false);
+  constexpr index_t kPcw = 64;
+  // All cousin separations fused into one pass per box: each box's L and M
+  // rows are streamed once instead of once per separation. Per L element the
+  // additions still run separation-major (ascending, the level_separations
+  // order restricted to this parity), j-minor — exactly the order of the
+  // per-separation reference passes, so results are bit-identical.
+  parallel_for(
+      nbl,
+      [&](index_t b_lo, index_t b_hi) {
+        for (index_t pc0 = 0; pc0 < cpm_; pc0 += kPcw) {
+          const index_t w = std::min(kPcw, cpm_ - pc0);
+          for (index_t b = b_lo; b < b_hi; ++b) {
+            const bool odd = (off + b) % 2 != 0;
+            T* ldst = local_box(level, b) + pc0;
+            for (std::size_t kk = 0; kk < seps.size(); ++kk) {
+              if (!separation_applies(seps[kk], odd)) continue;
+              const T* msrc = multipole_box(level, b + seps[kk]) + pc0;
+              const T* tab = ops[kk];
+              for (index_t i = 0; i < q; ++i) {
+                T* lrow = ldst + cpm_ * i;
+                for (index_t j = 0; j < q; ++j)
+                  simd::mul_add_stream(lrow, tab + (i + q * j) * cpm_ + pc0, msrc + cpm_ * j,
+                                       w);
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
   // 3 cousins per box regardless of parity.
   // Mops: M^l read once (with halo) and L^l accumulated (read + write) —
   // the interaction-list reuse a tiled kernel achieves (§5.3 conventions).
@@ -296,11 +366,56 @@ template <typename T>
 void Engine<T>::m2l_base() {
   FMMFFT_SPAN("M2L-B");
   WallTimer stage_timer_;
-  const index_t q = prm_.q, nbl = local_boxes(prm_.b);
+  const index_t q = prm_.q, nbl = local_boxes(prm_.b), off = box_offset(prm_.b);
   const index_t nb_global = prm_.boxes(prm_.b);
-  for (index_t s = 2; s <= nb_global - 2; ++s) {
-    const T* tab = m2l_base_ops_[(std::size_t)(s - 2)];
-    apply_m2l(prm_.b, s, tab ? tab : m2l_operator(prm_.b, s), true);
+  const index_t nsep = std::max<index_t>(nb_global - 3, 0);  // s in [2, 2^B-2]
+  // Resolve every separation's operator slab up front (precomputed cache or
+  // LRU) so the separation loop fuses per box: L^B rows stream once instead
+  // of once per separation. When the slabs outnumber the LRU capacity they
+  // cannot all stay pinned — fall back to one pass per separation, building
+  // each slab on the fly (the pre-LRU behavior).
+  if (nsep > 0 && std::size_t(nsep) <= kM2lLruCapacity) {
+    std::vector<const T*> ops((std::size_t)nsep);
+    for (index_t s = 2; s <= nb_global - 2; ++s) {
+      const T* tab = m2l_base_ops_.empty() ? nullptr : m2l_base_ops_[(std::size_t)(s - 2)];
+      ops[(std::size_t)(s - 2)] = tab ? tab : m2l_operator(prm_.b, s);
+    }
+    constexpr index_t kPcw = 64;
+    // Separation-major sweep: one operator slab streams across every box
+    // before moving to the next, so the active Q×Q×kPcw slice stays
+    // cache-resident (a box-major fusion would cycle all nsep slabs per box
+    // and thrash once their combined footprint exceeds L2 — measurably
+    // slower at 2^B = 64). Boxes and pc blocks are disjoint targets, so per
+    // L element the additions still run s-ascending, j-minor — the same
+    // order as the per-separation reference passes (bit-identical). One
+    // parallel_for replaces the reference's nsep pool forks.
+    parallel_for(
+        nbl,
+        [&](index_t b_lo, index_t b_hi) {
+          for (index_t s = 2; s <= nb_global - 2; ++s) {
+            const T* tab = ops[(std::size_t)(s - 2)];
+            for (index_t pc0 = 0; pc0 < cpm_; pc0 += kPcw) {
+              const index_t w = std::min(kPcw, cpm_ - pc0);
+              for (index_t b = b_lo; b < b_hi; ++b) {
+                const index_t gb = off + b;
+                const T* msrc = multipole_box(prm_.b, mod(gb + s, nb_global)) + pc0;
+                T* ldst = local_box(prm_.b, b) + pc0;
+                for (index_t i = 0; i < q; ++i) {
+                  T* lrow = ldst + cpm_ * i;
+                  for (index_t j = 0; j < q; ++j)
+                    simd::mul_add_stream(lrow, tab + (i + q * j) * cpm_ + pc0, msrc + cpm_ * j,
+                                         w);
+                }
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+  } else if (nsep > 0) {
+    for (index_t s = 2; s <= nb_global - 2; ++s) {
+      const T* tab = m2l_base_ops_.empty() ? nullptr : m2l_base_ops_[(std::size_t)(s - 2)];
+      apply_m2l(prm_.b, s, tab ? tab : m2l_operator(prm_.b, s), true);
+    }
   }
   // Mops: the gathered global M^B streams once, L^B accumulates.
   const double nsrc = double(nb_global - 3);
@@ -310,6 +425,27 @@ void Engine<T>::m2l_base() {
                                      double(cpm_ * q * nb_global)),
                 1},
                stage_timer_.seconds());
+}
+
+template <typename T>
+void Engine<T>::m2l_level_reference(int level) {
+  // Pre-fusion cousin M2L: one apply_m2l pass per separation. Identity
+  // oracle for m2l_level(); records no stats.
+  FMMFFT_CHECK(level > prm_.b && level <= prm_.l());
+  const auto& seps = level_separations();
+  const auto& ops = m2l_level_ops_[(std::size_t)(level - prm_.b - 1)];
+  for (std::size_t k = 0; k < seps.size(); ++k) apply_m2l(level, seps[k], ops[k], false);
+}
+
+template <typename T>
+void Engine<T>::m2l_base_reference() {
+  // Pre-fusion base M2L: one apply_m2l pass per separation. Identity oracle
+  // for m2l_base(); records no stats.
+  const index_t nb_global = prm_.boxes(prm_.b);
+  for (index_t s = 2; s <= nb_global - 2; ++s) {
+    const T* tab = m2l_base_ops_.empty() ? nullptr : m2l_base_ops_[(std::size_t)(s - 2)];
+    apply_m2l(prm_.b, s, tab ? tab : m2l_operator(prm_.b, s), true);
+  }
 }
 
 template <typename T>

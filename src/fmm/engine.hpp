@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -105,6 +106,15 @@ class Engine {
   void s2t();
   void m2l_level(int level);  ///< cousin M2L at level in [B+1, L]
   void m2l_base();
+
+  // -- Reference kernels (identity oracles for the fused/SIMD paths) -------
+  // Same tensors, same per-element accumulation order, but the pre-fusion
+  // loop structure: scalar S2T inner loop, and one pass per M2L separation
+  // instead of the per-box fused sweep. Outputs must match the fast paths
+  // bit for bit. These record no stage stats.
+  void s2t_reference();
+  void m2l_level_reference(int level);
+  void m2l_base_reference();
   void reduce();
   void l2l(int level);  ///< push level to level+1 (level in [B, L-1])
   void l2t();
@@ -146,7 +156,15 @@ class Engine {
   Buffer<T> s2t_tab_;  // (4·M_L - 1) × cp
   Buffer<T> ones_q_;   // length Q·2^B of ones, for the reduction GEMV
   std::map<std::pair<int, index_t>, Buffer<T>> m2l_cache_;  // (level, s)
-  Buffer<T> m2l_scratch_;  // on-the-fly slab for uncached base separations
+  // Keyed LRU for operator slabs outside the precomputed cache (base levels
+  // with 2^B too large to cache exhaustively): front = most recent. As long
+  // as the base level's 2^B - 3 slabs fit the capacity, every slab is built
+  // exactly once per plan instead of once per m2l_base call.
+  using M2lKey = std::pair<int, index_t>;
+  using M2lLru = std::list<std::pair<M2lKey, Buffer<T>>>;
+  static constexpr std::size_t kM2lLruCapacity = 256;
+  M2lLru m2l_lru_;
+  std::map<M2lKey, typename M2lLru::iterator> m2l_lru_pos_;
   // Hot-path operator pointers resolved once at ctor time (map lookups are
   // off the per-call path). m2l_level_ops_[lev - B - 1][k] follows the
   // level_separations() order; m2l_base_ops_[s - 2] is null for base

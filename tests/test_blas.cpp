@@ -2,6 +2,7 @@
 // reference across shapes/transposes/alpha-beta, strided batched GEMM, GEMV.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/math.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
+#include "obs/obs.hpp"
 
 namespace fmmfft::blas {
 namespace {
@@ -199,6 +201,109 @@ TEST(BatchedGemm, SharedOperandViaZeroStride) {
       EXPECT_NEAR(out[i + g * q], expect, 1e-12);
     }
   }
+}
+
+// -- Shared-B batch-fused fast path ------------------------------------------
+// stride_b == 0 with batch > 1 dispatches into the batch-fused path: all
+// items stack into one virtual m·batch row space, B packs once per (NC, KC)
+// tile, and small-m items aggregate into full microkernel tiles. Per C
+// element the arithmetic order is exactly a plain gemm's (beta-scale once,
+// then k ascending through the serial KC panels), so the results must equal
+// a loop of gemm calls BIT FOR BIT — at any worker count and for tiles that
+// straddle item boundaries.
+template <typename T>
+void check_shared_b_exact(Op tb, index_t m, index_t n, index_t k, index_t batch, T alpha, T beta,
+                          std::uint64_t seed) {
+  const index_t lda = m + 1, ldb = (tb == Op::N ? k : n) + 1, ldc = m + 2;
+  auto a = random_vec<T>(lda * k * batch, seed);
+  auto b = random_vec<T>(ldb * (tb == Op::N ? n : k), seed + 1);
+  auto c0 = random_vec<T>(ldc * n * batch, seed + 2);
+  auto c1 = c0;
+  gemm_strided_batched(Op::N, tb, m, n, k, alpha, a.data(), lda, lda * k, b.data(), ldb, 0, beta,
+                       c0.data(), ldc, ldc * n, batch);
+  for (index_t g = 0; g < batch; ++g)
+    gemm(Op::N, tb, m, n, k, alpha, a.data() + g * lda * k, lda, b.data(), ldb, beta,
+         c1.data() + g * ldc * n, ldc);
+  EXPECT_EQ(c0, c1) << "tb=" << int(tb) << " m=" << m << " n=" << n << " k=" << k
+                    << " batch=" << batch << " alpha=" << alpha << " beta=" << beta;
+}
+
+TEST(BatchedGemmSharedB, ExactlyMatchesLoopOfGemms) {
+  const std::tuple<index_t, index_t, index_t, index_t> shapes[] = {
+      {3, 5, 7, 11},    // m << MR: every microkernel tile straddles items
+      {17, 4, 9, 6},    // odd tails in every dimension
+      {64, 18, 8, 32},  // the S2M shape, MC-aligned rows
+      {65, 7, 3, 4},    // crosses an MC block boundary with a one-row tail
+  };
+  for (Op tb : {Op::N, Op::T})
+    for (const auto& [m, n, k, batch] : shapes)
+      for (double beta : {0.0, 1.0, 0.5})
+        check_shared_b_exact<double>(tb, m, n, k, batch, 1.25, beta, 60 + index_t(beta * 8));
+}
+
+TEST(BatchedGemmSharedB, SerialAndPoolBitIdentical) {
+  // The (item × MC-block) grid is partitioned across workers, but each
+  // C element is owned by exactly one grid cell and the KC loop is serial,
+  // so the partition cannot change any result bit.
+  const index_t m = 13, n = 18, k = 36, batch = 24;
+  auto a = random_vec<double>(m * k * batch, 70);
+  auto b = random_vec<double>(k * n, 71);
+  std::vector<double> c0(static_cast<std::size_t>(m * n * batch), 0.0), c1 = c0;
+  {
+    ThreadPool::ScopedSerial serial;
+    gemm_strided_batched(Op::N, Op::N, m, n, k, 1.0, a.data(), m, m * k, b.data(), k, 0, 0.0,
+                         c0.data(), m, m * n, batch);
+  }
+  gemm_strided_batched(Op::N, Op::N, m, n, k, 1.0, a.data(), m, m * k, b.data(), k, 0, 0.0,
+                       c1.data(), m, m * n, batch);
+  EXPECT_EQ(c0, c1);
+}
+
+TEST(BatchedGemmSharedB, AlphaZeroAndFloatCoverage) {
+  // alpha == 0 short-circuits to the beta pass (k never touched, so NaNs in
+  // A/B must not propagate); float exercises the narrower GEMM vectors.
+  const index_t m = 9, n = 6, k = 5, batch = 7;
+  auto a = random_vec<double>(m * k * batch, 80);
+  a[0] = std::numeric_limits<double>::quiet_NaN();
+  auto b = random_vec<double>(k * n, 81);
+  b[0] = std::numeric_limits<double>::quiet_NaN();
+  auto c0 = random_vec<double>(m * n * batch, 82);
+  auto c1 = c0;
+  gemm_strided_batched(Op::N, Op::N, m, n, k, 0.0, a.data(), m, m * k, b.data(), k, 0, 0.5,
+                       c0.data(), m, m * n, batch);
+  for (index_t g = 0; g < batch; ++g)
+    gemm(Op::N, Op::N, m, n, k, 0.0, a.data() + g * m * k, m, b.data(), k, 0.5,
+         c1.data() + g * m * n, m);
+  EXPECT_EQ(c0, c1);
+  check_shared_b_exact<float>(Op::N, 11, 5, 6, 9, 1.5f, 0.25f, 90);
+  check_shared_b_exact<float>(Op::T, 33, 4, 10, 5, 1.0f, 0.0f, 91);
+}
+
+TEST(BatchedGemmSharedB, FlopsCountedOnceAtEntry) {
+  // obs::compare_with_model cross-checks measured counters against the
+  // model, so blas.flops must be exactly batch · gemm_flops per call — added
+  // once at the public entry point, by BOTH dispatch paths (the fused
+  // shared-B path and the per-item loop), with no inner double-counting.
+  obs::enable_metrics(true);
+  auto& flops = obs::Metrics::global().counter("blas.flops");
+  auto& fused = obs::Metrics::global().counter("blas.batched_fused");
+  const index_t m = 10, n = 6, k = 7, batch = 5;
+  auto a = random_vec<double>(m * k * batch, 95);
+  auto b = random_vec<double>(k * n * batch, 96);
+  std::vector<double> c(static_cast<std::size_t>(m * n * batch), 0.0);
+  flops.reset();
+  fused.reset();
+  gemm_strided_batched(Op::N, Op::N, m, n, k, 1.0, a.data(), m, m * k, b.data(), k, 0, 0.0,
+                       c.data(), m, m * n, batch);
+  EXPECT_DOUBLE_EQ(flops.value(), double(batch) * gemm_flops(m, n, k));
+  EXPECT_DOUBLE_EQ(fused.value(), 1.0);
+  flops.reset();
+  gemm_strided_batched(Op::N, Op::N, m, n, k, 1.0, a.data(), m, m * k, b.data(), k, k * n, 0.0,
+                       c.data(), m, m * n, batch);
+  EXPECT_DOUBLE_EQ(flops.value(), double(batch) * gemm_flops(m, n, k));
+  EXPECT_DOUBLE_EQ(fused.value(), 1.0);  // per-item path is not "fused"
+  obs::disable();
+  obs::reset();
 }
 
 TEST(Gemv, NoTransMatchesGemm) {

@@ -211,6 +211,79 @@ TEST(Engine, StatsFlopFormulas) {
   }
 }
 
+// -- Fused/SIMD kernel identity ----------------------------------------------
+// The vectorized, separation-fused S2T / M2L fast paths promise BIT-identical
+// outputs to the pre-fusion reference loops (same per-element accumulation
+// order). Two engines get identical tensor state — sources with halos,
+// every multipole level with halo boxes, the global base buffer — then one
+// runs the fast kernels and the other the references; every output tensor
+// must memcmp equal.
+
+void prime_pair(Engine<double>& ea, Engine<double>& eb) {
+  const Params& prm = ea.params();
+  const index_t se = ea.source_box_elems(), ee = ea.expansion_box_elems();
+  for (index_t b = -1; b <= ea.local_leaves(); ++b) {
+    const std::uint64_t seed = 900 + std::uint64_t(b + 1);
+    fill_uniform(ea.source_box(b), se, seed);
+    fill_uniform(eb.source_box(b), se, seed);
+  }
+  ea.zero();
+  eb.zero();
+  for (int lev = prm.b; lev <= prm.l(); ++lev) {
+    const index_t b_lo = lev == prm.b ? 0 : -2;
+    const index_t b_hi = lev == prm.b ? prm.boxes(prm.b) : ea.local_boxes(lev) + 2;
+    for (index_t b = b_lo; b < b_hi; ++b) {
+      const std::uint64_t seed = 5000 * std::uint64_t(lev) + std::uint64_t(b + 2);
+      fill_uniform(ea.multipole_box(lev, b), ee, seed);
+      fill_uniform(eb.multipole_box(lev, b), ee, seed);
+    }
+  }
+}
+
+void expect_kernels_match(const Params& prm, index_t g, index_t rank) {
+  Engine<double> ea(prm, 2, g, rank), eb(prm, 2, g, rank);
+  prime_pair(ea, eb);
+  ea.s2t();
+  eb.s2t_reference();
+  const std::size_t tbytes =
+      sizeof(double) * std::size_t(ea.source_box_elems() * ea.local_leaves());
+  EXPECT_EQ(0, std::memcmp(ea.target_box(0), eb.target_box(0), tbytes))
+      << prm.to_string() << " g=" << g << " rank=" << rank << " (S2T)";
+  for (int lev = prm.l(); lev > prm.b; --lev) {
+    ea.m2l_level(lev);
+    eb.m2l_level_reference(lev);
+  }
+  ea.m2l_base();
+  eb.m2l_base_reference();
+  for (int lev = prm.b; lev <= prm.l(); ++lev) {
+    const std::size_t lbytes =
+        sizeof(double) * std::size_t(ea.expansion_box_elems() * ea.local_boxes(lev));
+    EXPECT_EQ(0, std::memcmp(ea.local_box(lev, 0), eb.local_box(lev, 0), lbytes))
+        << prm.to_string() << " g=" << g << " rank=" << rank << " (M2L level " << lev << ")";
+  }
+}
+
+TEST(EngineKernelIdentity, FusedMatchesReferenceAcrossConfigs) {
+  // Deep tree with the small precomputed base (the e2e CD shape, scaled).
+  expect_kernels_match(Params{1 << 14, 64, 4, 2, 10}, 1, 0);
+  // Big base: 2^B = 64 boxes, 61 separations — the LRU-backed fused sweep.
+  expect_kernels_match(Params{1 << 14, 64, 4, 6, 10}, 1, 0);
+}
+
+TEST(EngineKernelIdentity, FusedMatchesReferenceOnDeviceSlabs) {
+  // Per-device slabs shift box offsets and parities; every rank must match.
+  const Params prm{index_t(1) << 16, 64, 8, 3, 14};
+  for (index_t g : {index_t(1), index_t(2), index_t(4)})
+    for (index_t rank = 0; rank < g; ++rank) expect_kernels_match(prm, g, rank);
+}
+
+TEST(EngineKernelIdentity, BaseSeparationsBeyondLruCapacity) {
+  // 2^B = 512 base boxes -> 509 separations, more than the operator LRU can
+  // pin at once: m2l_base falls back to one pass per separation and must
+  // still match the reference bit for bit.
+  expect_kernels_match(Params{4096, 4, 2, 9, 4}, 1, 0);
+}
+
 TEST(Engine, RejectsInvalidConfigs) {
   Params prm{1 << 12, 32, 8, 2, 8};
   EXPECT_THROW(Engine<double>(prm, 3), Error);            // bad component count

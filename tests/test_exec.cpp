@@ -126,6 +126,28 @@ TEST(Mode, ScopedOverrideRestores) {
   EXPECT_EQ(mode(), outer);
 }
 
+TEST(Mode, AutoResolvesByWorkFloor) {
+  // Auto picks the serial driver below the per-device work floor (where the
+  // graph's submit/run overhead beats the overlap) and the executor at or
+  // above it; explicit modes pass through resolve_mode untouched.
+  const index_t floor = auto_work_floor();
+  ASSERT_GT(floor, 0);
+  {
+    ScopedMode sm(Mode::Auto);
+    EXPECT_EQ(resolve_mode(floor - 1), Mode::Serial);
+    EXPECT_EQ(resolve_mode(floor), Mode::Async);
+    EXPECT_EQ(resolve_mode(0), Mode::Serial);
+  }
+  {
+    ScopedMode sm(Mode::Serial);
+    EXPECT_EQ(resolve_mode(index_t(1) << 30), Mode::Serial);
+  }
+  {
+    ScopedMode sm(Mode::Async);
+    EXPECT_EQ(resolve_mode(0), Mode::Async);
+  }
+}
+
 TEST(DeviceLanes, NumberingIsDisjoint) {
   DeviceLanes lanes(4);
   EXPECT_EQ(lanes.count(), 4 + 16);
