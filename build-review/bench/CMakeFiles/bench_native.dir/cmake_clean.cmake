@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native.dir/bench_native.cpp.o"
+  "CMakeFiles/bench_native.dir/bench_native.cpp.o.d"
+  "bench_native"
+  "bench_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gemm_perf.dir/fig1_gemm_perf.cpp.o"
+  "CMakeFiles/fig1_gemm_perf.dir/fig1_gemm_perf.cpp.o.d"
+  "fig1_gemm_perf"
+  "fig1_gemm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gemm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_profile.dir/fig2_profile.cpp.o"
+  "CMakeFiles/fig2_profile.dir/fig2_profile.cpp.o.d"
+  "fig2_profile"
+  "fig2_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

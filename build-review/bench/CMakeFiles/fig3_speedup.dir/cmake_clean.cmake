@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speedup.dir/fig3_speedup.cpp.o"
+  "CMakeFiles/fig3_speedup.dir/fig3_speedup.cpp.o.d"
+  "fig3_speedup"
+  "fig3_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

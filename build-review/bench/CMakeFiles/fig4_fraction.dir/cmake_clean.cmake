@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fraction.dir/fig4_fraction.cpp.o"
+  "CMakeFiles/fig4_fraction.dir/fig4_fraction.cpp.o.d"
+  "fig4_fraction"
+  "fig4_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ml_dependence.dir/fig6_ml_dependence.cpp.o"
+  "CMakeFiles/fig6_ml_dependence.dir/fig6_ml_dependence.cpp.o.d"
+  "fig6_ml_dependence"
+  "fig6_ml_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ml_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

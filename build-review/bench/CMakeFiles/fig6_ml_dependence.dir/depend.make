@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_ml_dependence.
+# This may be replaced when dependencies are built.

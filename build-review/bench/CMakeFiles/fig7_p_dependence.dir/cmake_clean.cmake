@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_p_dependence.dir/fig7_p_dependence.cpp.o"
+  "CMakeFiles/fig7_p_dependence.dir/fig7_p_dependence.cpp.o.d"
+  "fig7_p_dependence"
+  "fig7_p_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_p_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_p_dependence.
+# This may be replaced when dependencies are built.

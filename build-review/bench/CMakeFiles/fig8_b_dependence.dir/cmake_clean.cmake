@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_b_dependence.dir/fig8_b_dependence.cpp.o"
+  "CMakeFiles/fig8_b_dependence.dir/fig8_b_dependence.cpp.o.d"
+  "fig8_b_dependence"
+  "fig8_b_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_b_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

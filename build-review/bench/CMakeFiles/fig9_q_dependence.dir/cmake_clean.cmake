@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_q_dependence.dir/fig9_q_dependence.cpp.o"
+  "CMakeFiles/fig9_q_dependence.dir/fig9_q_dependence.cpp.o.d"
+  "fig9_q_dependence"
+  "fig9_q_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_q_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_projection.dir/multinode_projection.cpp.o"
+  "CMakeFiles/multinode_projection.dir/multinode_projection.cpp.o.d"
+  "multinode_projection"
+  "multinode_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

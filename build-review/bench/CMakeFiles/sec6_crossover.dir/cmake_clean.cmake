@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_crossover.dir/sec6_crossover.cpp.o"
+  "CMakeFiles/sec6_crossover.dir/sec6_crossover.cpp.o.d"
+  "sec6_crossover"
+  "sec6_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_cli.dir/fmmfft_cli.cpp.o"
+  "CMakeFiles/fmmfft_cli.dir/fmmfft_cli.cpp.o.d"
+  "fmmfft_cli"
+  "fmmfft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

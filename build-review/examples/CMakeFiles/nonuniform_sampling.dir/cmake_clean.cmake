@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonuniform_sampling.dir/nonuniform_sampling.cpp.o"
+  "CMakeFiles/nonuniform_sampling.dir/nonuniform_sampling.cpp.o.d"
+  "nonuniform_sampling"
+  "nonuniform_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonuniform_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("exec")
+subdirs("blas")
+subdirs("fft")
+subdirs("fmm")
+subdirs("core")
+subdirs("sim")
+subdirs("dist")
+subdirs("model")
+subdirs("nufft")

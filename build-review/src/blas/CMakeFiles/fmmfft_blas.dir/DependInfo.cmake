@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/fmmfft_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/fmmfft_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/blas/CMakeFiles/fmmfft_blas.dir/level1.cpp.o" "gcc" "src/blas/CMakeFiles/fmmfft_blas.dir/level1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/fmmfft_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_blas.dir/gemm.cpp.o"
+  "CMakeFiles/fmmfft_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/fmmfft_blas.dir/level1.cpp.o"
+  "CMakeFiles/fmmfft_blas.dir/level1.cpp.o.d"
+  "libfmmfft_blas.a"
+  "libfmmfft_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

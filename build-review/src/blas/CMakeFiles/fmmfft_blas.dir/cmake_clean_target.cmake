@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfmmfft_blas.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_core.dir/fmmfft.cpp.o"
+  "CMakeFiles/fmmfft_core.dir/fmmfft.cpp.o.d"
+  "CMakeFiles/fmmfft_core.dir/reference.cpp.o"
+  "CMakeFiles/fmmfft_core.dir/reference.cpp.o.d"
+  "libfmmfft_core.a"
+  "libfmmfft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

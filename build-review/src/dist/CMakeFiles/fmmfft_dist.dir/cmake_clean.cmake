@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_dist.dir/dfft.cpp.o"
+  "CMakeFiles/fmmfft_dist.dir/dfft.cpp.o.d"
+  "CMakeFiles/fmmfft_dist.dir/dfmmfft.cpp.o"
+  "CMakeFiles/fmmfft_dist.dir/dfmmfft.cpp.o.d"
+  "CMakeFiles/fmmfft_dist.dir/schedules.cpp.o"
+  "CMakeFiles/fmmfft_dist.dir/schedules.cpp.o.d"
+  "libfmmfft_dist.a"
+  "libfmmfft_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_exec.dir/executor.cpp.o"
+  "CMakeFiles/fmmfft_exec.dir/executor.cpp.o.d"
+  "libfmmfft_exec.a"
+  "libfmmfft_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_fft.dir/fft.cpp.o"
+  "CMakeFiles/fmmfft_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/fmmfft_fft.dir/plan3d.cpp.o"
+  "CMakeFiles/fmmfft_fft.dir/plan3d.cpp.o.d"
+  "CMakeFiles/fmmfft_fft.dir/real.cpp.o"
+  "CMakeFiles/fmmfft_fft.dir/real.cpp.o.d"
+  "libfmmfft_fft.a"
+  "libfmmfft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

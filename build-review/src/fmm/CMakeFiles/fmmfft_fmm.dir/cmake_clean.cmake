@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_fmm.dir/chebyshev.cpp.o"
+  "CMakeFiles/fmmfft_fmm.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/fmmfft_fmm.dir/engine.cpp.o"
+  "CMakeFiles/fmmfft_fmm.dir/engine.cpp.o.d"
+  "CMakeFiles/fmmfft_fmm.dir/operators.cpp.o"
+  "CMakeFiles/fmmfft_fmm.dir/operators.cpp.o.d"
+  "libfmmfft_fmm.a"
+  "libfmmfft_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

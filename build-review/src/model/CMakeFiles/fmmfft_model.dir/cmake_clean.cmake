@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_model.dir/arch.cpp.o"
+  "CMakeFiles/fmmfft_model.dir/arch.cpp.o.d"
+  "CMakeFiles/fmmfft_model.dir/counts.cpp.o"
+  "CMakeFiles/fmmfft_model.dir/counts.cpp.o.d"
+  "CMakeFiles/fmmfft_model.dir/tuning.cpp.o"
+  "CMakeFiles/fmmfft_model.dir/tuning.cpp.o.d"
+  "libfmmfft_model.a"
+  "libfmmfft_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

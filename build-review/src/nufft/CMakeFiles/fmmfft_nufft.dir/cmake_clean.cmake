@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_nufft.dir/nufft.cpp.o"
+  "CMakeFiles/fmmfft_nufft.dir/nufft.cpp.o.d"
+  "CMakeFiles/fmmfft_nufft.dir/nufmm.cpp.o"
+  "CMakeFiles/fmmfft_nufft.dir/nufmm.cpp.o.d"
+  "libfmmfft_nufft.a"
+  "libfmmfft_nufft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_nufft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

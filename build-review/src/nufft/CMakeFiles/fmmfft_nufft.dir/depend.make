@@ -1,0 +1,2 @@
+# Empty dependencies file for fmmfft_nufft.
+# This may be replaced when dependencies are built.

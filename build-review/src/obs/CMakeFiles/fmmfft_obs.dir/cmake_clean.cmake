@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_obs.dir/obs.cpp.o"
+  "CMakeFiles/fmmfft_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/fmmfft_obs.dir/trace_writer.cpp.o"
+  "CMakeFiles/fmmfft_obs.dir/trace_writer.cpp.o.d"
+  "libfmmfft_obs.a"
+  "libfmmfft_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

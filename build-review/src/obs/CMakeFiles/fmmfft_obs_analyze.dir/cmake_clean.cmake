@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_obs_analyze.dir/analyze.cpp.o"
+  "CMakeFiles/fmmfft_obs_analyze.dir/analyze.cpp.o.d"
+  "libfmmfft_obs_analyze.a"
+  "libfmmfft_obs_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_obs_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_obs_compare.dir/compare.cpp.o"
+  "CMakeFiles/fmmfft_obs_compare.dir/compare.cpp.o.d"
+  "libfmmfft_obs_compare.a"
+  "libfmmfft_obs_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_obs_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

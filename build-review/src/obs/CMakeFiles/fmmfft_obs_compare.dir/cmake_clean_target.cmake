@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfmmfft_obs_compare.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for fmmfft_obs_compare.
+# This may be replaced when dependencies are built.

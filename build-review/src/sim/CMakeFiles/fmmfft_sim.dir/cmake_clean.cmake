@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmmfft_sim.dir/schedule.cpp.o"
+  "CMakeFiles/fmmfft_sim.dir/schedule.cpp.o.d"
+  "libfmmfft_sim.a"
+  "libfmmfft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmmfft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

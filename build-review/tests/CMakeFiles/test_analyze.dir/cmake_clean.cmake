@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyze.dir/test_analyze.cpp.o"
+  "CMakeFiles/test_analyze.dir/test_analyze.cpp.o.d"
+  "test_analyze"
+  "test_analyze.pdb"
+  "test_analyze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/test_dist.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/test_dist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/dist/CMakeFiles/fmmfft_dist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/fmmfft_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/fmmfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fmmfft_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/fmmfft_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fmm/CMakeFiles/fmmfft_fmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blas/CMakeFiles/fmmfft_blas.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/fmmfft_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fmmfft_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_real.dir/test_fft_real.cpp.o"
+  "CMakeFiles/test_fft_real.dir/test_fft_real.cpp.o.d"
+  "test_fft_real"
+  "test_fft_real.pdb"
+  "test_fft_real[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmmfft.dir/test_fmmfft.cpp.o"
+  "CMakeFiles/test_fmmfft.dir/test_fmmfft.cpp.o.d"
+  "test_fmmfft"
+  "test_fmmfft.pdb"
+  "test_fmmfft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmmfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_level1.dir/test_level1.cpp.o"
+  "CMakeFiles/test_level1.dir/test_level1.cpp.o.d"
+  "test_level1"
+  "test_level1.pdb"
+  "test_level1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_level1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

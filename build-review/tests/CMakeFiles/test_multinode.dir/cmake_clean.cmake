@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multinode.dir/test_multinode.cpp.o"
+  "CMakeFiles/test_multinode.dir/test_multinode.cpp.o.d"
+  "test_multinode"
+  "test_multinode.pdb"
+  "test_multinode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

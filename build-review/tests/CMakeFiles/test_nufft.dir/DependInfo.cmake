@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nufft.cpp" "tests/CMakeFiles/test_nufft.dir/test_nufft.cpp.o" "gcc" "tests/CMakeFiles/test_nufft.dir/test_nufft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nufft/CMakeFiles/fmmfft_nufft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fmm/CMakeFiles/fmmfft_fmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/blas/CMakeFiles/fmmfft_blas.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/fmmfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fmmfft_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nufft.dir/test_nufft.cpp.o"
+  "CMakeFiles/test_nufft.dir/test_nufft.cpp.o.d"
+  "test_nufft"
+  "test_nufft.pdb"
+  "test_nufft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nufft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

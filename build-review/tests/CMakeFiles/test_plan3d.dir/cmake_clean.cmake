@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan3d.dir/test_plan3d.cpp.o"
+  "CMakeFiles/test_plan3d.dir/test_plan3d.cpp.o.d"
+  "test_plan3d"
+  "test_plan3d.pdb"
+  "test_plan3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedules.dir/test_schedules.cpp.o"
+  "CMakeFiles/test_schedules.dir/test_schedules.cpp.o.d"
+  "test_schedules"
+  "test_schedules.pdb"
+  "test_schedules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

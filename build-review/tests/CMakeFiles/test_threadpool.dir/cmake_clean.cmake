@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threadpool.dir/test_threadpool.cpp.o"
+  "CMakeFiles/test_threadpool.dir/test_threadpool.cpp.o.d"
+  "test_threadpool"
+  "test_threadpool.pdb"
+  "test_threadpool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

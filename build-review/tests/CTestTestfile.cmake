@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_blas[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fft[1]_include.cmake")
+include("/root/repo/build-review/tests/test_chebyshev[1]_include.cmake")
+include("/root/repo/build-review/tests/test_operators[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engine[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fmmfft[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dist[1]_include.cmake")
+include("/root/repo/build-review/tests/test_exec[1]_include.cmake")
+include("/root/repo/build-review/tests/test_schedules[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fft_real[1]_include.cmake")
+include("/root/repo/build-review/tests/test_level1[1]_include.cmake")
+include("/root/repo/build-review/tests/test_accuracy[1]_include.cmake")
+include("/root/repo/build-review/tests/test_multinode[1]_include.cmake")
+include("/root/repo/build-review/tests/test_threadpool[1]_include.cmake")
+include("/root/repo/build-review/tests/test_plan3d[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build-review/tests/test_nufft[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analyze[1]_include.cmake")
