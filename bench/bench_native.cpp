@@ -32,6 +32,7 @@
 #include "fmm/engine.hpp"
 #include "fmm/params.hpp"
 #include "obs/trace_writer.hpp"
+#include "obs/traffic.hpp"
 
 namespace {
 
@@ -193,6 +194,44 @@ bool bench_dist_e2e(int g) {
   return true;
 }
 
+/// Measured algorithmic traffic rows (metric "bytes"): the ledger's bytes
+/// moved over one execution of each end-to-end shape. Unlike the wall-clock
+/// rows these are deterministic — a pure function of the plan — so
+/// tools/bench_compare.py --native hard-gates them: a change that silently
+/// moves >10% more bytes on these shapes fails the bench gate.
+void bench_traffic_bytes() {
+  using Cx = std::complex<double>;
+  const bool was_enabled = obs::traffic_enabled();
+  obs::enable_traffic(true);
+  {
+    const fmm::Params prm{index_t(1) << 16, 64, 16, 2, 14};
+    core::FmmFft<Cx> plan(prm);
+    Buffer<Cx> in(prm.n), out(prm.n);
+    fill_uniform(in.data(), prm.n, 7);
+    obs::TrafficLedger::global().reset();
+    WallTimer t;
+    plan.execute(in.data(), out.data());
+    const double sec = t.seconds();
+    record("traffic_fmmfft_n16", "bytes", obs::TrafficLedger::global().total().bytes_moved(),
+           sec);
+  }
+  {
+    const fmm::Params prm{index_t(1) << 16, 64, 8, 3, 14};
+    dist::DistFmmFft<Cx> plan(prm, 2);
+    Buffer<Cx> in(prm.n), out(prm.n);
+    fill_uniform(in.data(), prm.n, 42);
+    obs::TrafficLedger::global().reset();
+    WallTimer t;
+    plan.execute(in.data(), out.data());
+    const double sec = t.seconds();
+    const auto total = obs::TrafficLedger::global().total();
+    record("traffic_dfmmfft_g2", "bytes", total.bytes_moved(), sec);
+    record("traffic_dfmmfft_g2_comm", "bytes", total.comm_bytes, sec);
+  }
+  obs::TrafficLedger::global().reset();
+  obs::enable_traffic(was_enabled);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,6 +273,13 @@ int main(int argc, char** argv) {
   for (int g : {2, 4})
     if (!bench_dist_e2e(g)) return 1;
 
+  bench_traffic_bytes();
+
+  // STREAM-style machine roofline: measured copy/scale/triad bandwidth and
+  // peak FMA rate at 1 thread and at the pool width. Anchors the achieved
+  // GB/s columns of the ledger report on this machine.
+  const auto calibration = obs::calibrate_roofline_sweep();
+
   std::ofstream os(out_path);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -243,6 +289,18 @@ int main(int argc, char** argv) {
   jw.begin_object();
   jw.kv("schema", "fmmfft.bench.native.v1");
   jw.kv("threads", double(ThreadPool::global().workers()));
+  jw.key("calibration");
+  jw.begin_array();
+  for (const auto& r : calibration) {
+    jw.begin_object();
+    jw.kv("threads", double(r.threads));
+    jw.kv("copy_bps", r.copy_bps);
+    jw.kv("scale_bps", r.scale_bps);
+    jw.kv("triad_bps", r.triad_bps);
+    jw.kv("fma_flops", r.fma_flops);
+    jw.end_object();
+  }
+  jw.end_array();
   jw.key("benches");
   jw.begin_array();
   for (const Result& r : g_results) {

@@ -11,6 +11,7 @@
 // refresh after an intentional perf change:
 //
 //   build/bench/bench_runner BENCH_fmmfft.json
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -105,6 +106,33 @@ int main(int argc, char** argv) {
     jw.kv("speedup", bres.total_seconds / fres.total_seconds);
     jw.kv("kernel_launches", double(fsched.kernel_launches()));
     jw.kv("comm_bytes", fsched.total_comm_bytes());
+    // Traffic track (bytes-moved regression gate): totals over the analyzer's
+    // per-stage rollup of the scheduled ops' exact §5 byte/flop counts.
+    double tr_flops = 0, tr_bytes = 0, tr_comm = 0;
+    for (const auto& [stage, st] : rep.stage_traffic) {
+      (void)stage;
+      tr_flops += st.flops;
+      tr_bytes += st.bytes;
+      tr_comm += st.comm_bytes;
+    }
+    const auto a2a_it = rep.stage_traffic.find("a2a");
+    const double a2a_bytes = a2a_it != rep.stage_traffic.end() ? a2a_it->second.comm_bytes : 0.0;
+    // §5.3 exact transpose payload: every device ships all but its own slab.
+    const double a2a_model =
+        g > 1 ? (double(g) - 1.0) / double(g) * double(c.prm.n) * 2.0 * sizeof(double) : 0.0;
+    if (std::fabs(a2a_bytes - a2a_model) > 1e-6 * std::max(a2a_model, 1.0)) {
+      std::fprintf(stderr, "%s: A2A payload %.17g != model %.17g\n", c.name.c_str(), a2a_bytes,
+                   a2a_model);
+      return 1;
+    }
+    jw.key("traffic");
+    jw.begin_object();
+    jw.kv("flops", tr_flops);
+    jw.kv("bytes", tr_bytes);
+    jw.kv("comm_bytes", tr_comm);
+    jw.kv("a2a_bytes", a2a_bytes);
+    jw.kv("words_per_flop", tr_flops > 0 ? (tr_bytes + tr_comm) / (8.0 * tr_flops) : 0.0);
+    jw.end_object();
     jw.key("critical");
     jw.begin_object();
     jw.kv("coverage", rep.critical_coverage);

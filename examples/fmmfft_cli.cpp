@@ -29,6 +29,7 @@
 #include "obs/analyze.hpp"
 #include "obs/compare.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace {
 
@@ -43,7 +44,7 @@ struct Options {
   double eps = 1e-12;
   std::string simulate;
   std::uint64_t seed = 1;
-  std::string trace, metrics, report;
+  std::string trace, metrics, report, traffic;
 };
 
 void print_usage(const char* argv0) {
@@ -70,6 +71,9 @@ void print_usage(const char* argv0) {
       "                         write a metrics JSON and the model-vs-measured check\n"
       "  --report FILE          write the timeline analyzer report JSON for the\n"
       "                         simulated run (defaults to 2xp100 without --simulate)\n"
+      "  --traffic FILE         record the memory-traffic ledger (bytes read/written,\n"
+      "                         comm payload, flops per stage), write its JSON and the\n"
+      "                         traffic-vs-model check (same as FMMFFT_TRAFFIC=FILE)\n"
       "\n"
       "  --help                 this message\n",
       argv0);
@@ -102,7 +106,8 @@ Options parse(int argc, char** argv) {
       print_usage(argv[0]);
       std::exit(0);
     }
-    if (opt("--trace", &o.trace) || opt("--metrics", &o.metrics) || opt("--report", &o.report))
+    if (opt("--trace", &o.trace) || opt("--metrics", &o.metrics) ||
+        opt("--report", &o.report) || opt("--traffic", &o.traffic))
       continue;
     if (!std::strcmp(argv[i], "--log2n")) o.log2n = std::atoi(need("--log2n"));
     else if (!std::strcmp(argv[i], "--precision")) o.precision = need("--precision");
@@ -143,6 +148,7 @@ int run(const Options& o) {
 
   if (!o.trace.empty()) obs::enable_tracing(true);
   if (!o.metrics.empty()) obs::enable_metrics(true);
+  if (!o.traffic.empty()) obs::enable_traffic(true);
 
   std::vector<InT> x(static_cast<std::size_t>(n));
   fill_uniform(x.data(), n, o.seed);
@@ -188,6 +194,19 @@ int run(const Options& o) {
       std::printf("wrote metrics to %s\n", o.metrics.c_str());
     else
       std::printf("WARNING: could not write metrics to %s\n", o.metrics.c_str());
+  }
+  if (!o.traffic.empty()) {
+    // Same ordering constraint: the exact-FFT verification below would add
+    // its own fft bytes to the ledger.
+    const auto report = obs::compare_traffic_with_model(prm, is_complex_v<InT> ? 2 : 1,
+                                                        o.devices, sizeof(Real));
+    std::printf("\ntraffic vs model (FMMFFT_TRAFFIC):\n%s", report.to_string().c_str());
+    std::printf("traffic check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
+    std::printf("\n%s", obs::TrafficLedger::global().report().c_str());
+    if (obs::write_traffic_file(o.traffic))
+      std::printf("wrote traffic ledger to %s\n", o.traffic.c_str());
+    else
+      std::printf("WARNING: could not write traffic ledger to %s\n", o.traffic.c_str());
   }
 
   // Verify against the exact transform in double precision.

@@ -25,6 +25,7 @@
 #include "common/math.hpp"
 #include "common/threadpool.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::blas {
 namespace {
@@ -494,6 +495,12 @@ void gemm(Op transa, Op transb, index_t m, index_t n, index_t k, T alpha, const 
   FMMFFT_COUNT("blas.gemm_calls", 1);
   FMMFFT_COUNT("blas.launches", 1);
   FMMFFT_COUNT("blas.flops", gemm_flops(m, n, k));
+  // Compulsory operand traffic: A and B in, C out (plus C in when beta != 0).
+  FMMFFT_TRAFFIC_RW("blas.gemm",
+                    (double(m) * double(k) + double(k) * double(n) +
+                     (beta != T(0) ? double(m) * double(n) : 0.0)) *
+                        sizeof(T),
+                    double(m) * double(n) * sizeof(T), gemm_flops(m, n, k));
   gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -510,6 +517,16 @@ void gemm_strided_batched(Op transa, Op transb, index_t m, index_t n, index_t k,
   // path below touches the blas.* counters, so obs::compare_with_model sees
   // the same totals whichever path runs.
   FMMFFT_COUNT("blas.flops", double(batch_count) * gemm_flops(m, n, k));
+  // Per problem instance, so the total is path-independent: the shared-B
+  // fused path still counts B once per batch item (its actual reuse of the
+  // packed B shows up as achieved bandwidth above the roof, not here).
+  FMMFFT_TRAFFIC_RW("blas.gemm_batched",
+                    double(batch_count) *
+                        (double(m) * double(k) + double(k) * double(n) +
+                         (beta != T(0) ? double(m) * double(n) : 0.0)) *
+                        sizeof(T),
+                    double(batch_count) * double(m) * double(n) * sizeof(T),
+                    double(batch_count) * gemm_flops(m, n, k));
   if (stride_b == 0 && batch_count > 1) {
     // Shared operator: fuse the batch into one stacked macro-kernel that
     // packs B once per (NC, KC) tile (see gemm_batched_shared_b_impl).
@@ -537,6 +554,11 @@ void gemv(Op trans, index_t m, index_t n, T alpha, const T* a, index_t lda, cons
   FMMFFT_COUNT("blas.gemv_calls", 1);
   FMMFFT_COUNT("blas.launches", 1);
   FMMFFT_COUNT("blas.flops", 2.0 * double(m) * double(n));
+  FMMFFT_TRAFFIC_RW("blas.gemv",
+                    (double(m) * double(n) + double(n) +
+                     (beta != T(0) ? double(m) : 0.0)) *
+                        sizeof(T),
+                    double(m) * sizeof(T), 2.0 * double(m) * double(n));
   // op(A) is m×n. Row/column traversal is picked so A is streamed in order.
   if (trans == Op::N) {
     // BLAS semantics: beta == 0 means y is write-only (never read).

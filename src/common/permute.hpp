@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/threadpool.hpp"
 #include "common/types.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft {
 
@@ -19,6 +20,8 @@ namespace fmmfft {
 template <typename T>
 void permute_mp(const T* x, T* y, index_t m_dim, index_t p_dim) {
   FMMFFT_CHECK(x != y);
+  FMMFFT_TRAFFIC_RW("transpose", double(m_dim) * double(p_dim) * sizeof(T),
+                    double(m_dim) * double(p_dim) * sizeof(T), 0);
   for (index_t m = 0; m < m_dim; ++m)
     for (index_t p = 0; p < p_dim; ++p) y[m + p * m_dim] = x[p + m * p_dim];
 }
@@ -37,6 +40,8 @@ void permute_pm(const T* x, T* y, index_t m_dim, index_t p_dim) {
 template <typename T>
 void transpose_blocked(const T* x, T* y, index_t rows, index_t cols) {
   FMMFFT_CHECK(x != y);
+  FMMFFT_TRAFFIC_RW("transpose", double(rows) * double(cols) * sizeof(T),
+                    double(rows) * double(cols) * sizeof(T), 0);
   constexpr index_t kB = 32;
   const index_t col_blocks = (cols + kB - 1) / kB;
   // Grain: at least ~2^16 elements of work per chunk.

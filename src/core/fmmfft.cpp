@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "fmm/operators.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::core {
 
@@ -81,6 +82,16 @@ struct FmmFft<InT>::Impl {
       const Real* t = engine.target_box(0);
       const Real* r = engine.reduction();
       Out* stage = fuse_post ? output : scratch.data();
+      // Streams T once and writes the complex FFT input; the unfused
+      // ablation pays one extra round trip of the staged output. The tiny
+      // rho/reduction tables are excluded like the FMM operator tables.
+      FMMFFT_TRAFFIC_RW("post",
+                        (double(kC) * double(prm.n) +
+                         (fuse_post ? 0.0 : 2.0 * double(prm.n))) *
+                            sizeof(Real),
+                        (2.0 * double(prm.n) + (fuse_post ? 0.0 : 2.0 * double(prm.n))) *
+                            sizeof(Real),
+                        0);
       // Rows are independent elementwise work, so splitting them across the
       // pool is bit-identical to the serial sweep.
       parallel_for(

@@ -32,6 +32,8 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
       // Pack elements (p, m) with p in rr's range from r's input slab.
       // Input slab local index of global n = p + m*P is n - r*mg*p_total.
       index_t k = 0;
+      FMMFFT_TRAFFIC_RW("a2a.pack", double(mg) * double(pg) * sizeof(T),
+                        double(mg) * double(pg) * sizeof(T), 0);
       for (index_t pm = 0; pm < mg; ++pm)       // local m offset
         for (index_t pp = 0; pp < pg; ++pp)     // local p offset
           stage_src[k++] = in[(std::size_t)r][(rr * pg + pp) + pm * p];
@@ -39,6 +41,8 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
       // Unpack into rr's output slab: local index of j = m + p*M is
       // j - rr*pg*m_total.
       k = 0;
+      FMMFFT_TRAFFIC_RW("a2a.unpack", double(mg) * double(pg) * sizeof(T),
+                        double(mg) * double(pg) * sizeof(T), 0);
       for (index_t pm = 0; pm < mg; ++pm)
         for (index_t pp = 0; pp < pg; ++pp)
           out[(std::size_t)rr][(r * mg + pm) + pp * m] = stage_dst[k++];

@@ -190,6 +190,8 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
             "pack" + sfx, {lanes.compute(r), /*ordered=*/false, "a2a"},
             [this, in, sbuf, lo, hi, rr, pg] {
               index_t k = 0;
+              FMMFFT_TRAFFIC_RW("a2a.pack", double(hi - lo) * double(pg) * sizeof(Cx),
+                                double(hi - lo) * double(pg) * sizeof(Cx), 0);
               for (index_t pm = lo; pm < hi; ++pm)
                 for (index_t pp = 0; pp < pg; ++pp)
                   (*sbuf)[k++] = in[(rr * pg + pp) + pm * p_];
@@ -205,6 +207,8 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
             "unpack" + sfx, {lanes.compute(rr), /*ordered=*/false, "a2a"},
             [this, out, dbuf, lo, hi, r, mg, pg] {
               index_t k = 0;
+              FMMFFT_TRAFFIC_RW("a2a.unpack", double(hi - lo) * double(pg) * sizeof(Cx),
+                                double(hi - lo) * double(pg) * sizeof(Cx), 0);
               for (index_t pm = lo; pm < hi; ++pm)
                 for (index_t pp = 0; pp < pg; ++pp)
                   out[(r * mg + pm) + pp * m_] = (*dbuf)[k++];

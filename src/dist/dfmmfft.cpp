@@ -8,6 +8,7 @@
 #include "dist/collectives.hpp"
 #include "fmm/operators.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::dist {
 
@@ -85,6 +86,10 @@ void DistFmmFft<InT>::post_slab(int r) {
   // degrades to the plain loop inside an executor task).
   FMMFFT_SPAN("POST");
   const index_t slab_n = prm_.n / g_;
+  // Streams T once (c_ reals per element) and writes the complex slab; the
+  // tiny rho/reduction tables are excluded like the FMM operator tables.
+  FMMFFT_TRAFFIC_RW("post", double(c_) * double(slab_n) * sizeof(Real),
+                    2.0 * double(slab_n) * sizeof(Real), 0);
   const index_t p_total = prm_.p;
   const Real* t = engines_[(std::size_t)r]->target_box(0);
   const Real* rr = engines_[(std::size_t)r]->reduction();

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::exec {
 namespace {
@@ -168,6 +169,15 @@ void TaskGraph::run(ThreadPool& pool) {
   pool.run_chunks(workers, drain);
   if (error_) std::rethrow_exception(error_);
   FMMFFT_CHECK_MSG(done_ == size(), "graph drained without completing every task");
+  if (obs::traffic_enabled()) {
+    // Busy seconds per stage tag: the denominator for the ledger's achieved
+    // per-stage bandwidth (aux scope — time, not bytes).
+    auto& ledger = obs::TrafficLedger::global();
+    for (const TaskRecord& r : records_)
+      if (r.end_ns > r.start_ns)
+        ledger.add_seconds("exec." + (r.stage.empty() ? std::string("(untagged)") : r.stage),
+                           double(r.end_ns - r.start_ns) * 1e-9);
+  }
 }
 
 }  // namespace fmmfft::exec

@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "fmm/operators.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::fmm {
 namespace {
@@ -22,11 +23,37 @@ Buffer<T> cast_buffer(const std::vector<double>& src) {
   return dst;
 }
 
+/// Ledger scope for a non-Copy stage: fold the per-level "-<digits>"
+/// suffix ("M2M-7" -> "fmm.M2M") so launches of one kernel aggregate;
+/// "M2L-B" keeps its suffix (distinct operator and traffic shape).
+std::string traffic_scope(const std::string& name) {
+  std::string base = name;
+  const auto dash = base.rfind('-');
+  if (dash != std::string::npos && dash + 1 < base.size()) {
+    bool digits = true;
+    for (std::size_t i = dash + 1; i < base.size(); ++i)
+      digits = digits && base[i] >= '0' && base[i] <= '9';
+    if (digits) base.resize(dash);
+  }
+  return "fmm." + base;
+}
+
 /// Feed one executed stage's exact counts into the metrics registry.
 /// Halo-fill copies are tracked separately so fmm.flops / fmm.mem_bytes /
 /// fmm.launches stay launch-for-launch comparable with
 /// model::exact_fmm_counts (which has no Copy entries).
 void count_stage(const StageStats& st) {
+  if (obs::traffic_enabled()) {
+    // Copy stages go to halo.cyclic (payload read once, written once) so
+    // the fmm.* scopes stay compute-only, matching exact_fmm_counts.
+    if (st.kernel == KernelClass::Copy) {
+      obs::TrafficLedger::global().add_rw("halo.cyclic", st.mem_bytes, st.mem_bytes, 0.0);
+    } else {
+      double rd = st.bytes_read, wr = st.bytes_written;
+      if (rd == 0 && wr == 0) rd = wr = st.mem_bytes / 2;
+      obs::TrafficLedger::global().add_rw(traffic_scope(st.name), rd, wr, st.flops);
+    }
+  }
   if (!obs::metrics_enabled()) return;
   if (st.kernel == KernelClass::Copy) {
     FMMFFT_COUNT("fmm.halo_bytes", st.mem_bytes);
@@ -107,8 +134,11 @@ Engine<T>::Engine(const Params& prm, int components, index_t g, index_t rank)
 }
 
 template <typename T>
-void Engine<T>::record_stage(StageStats st, double seconds) {
+void Engine<T>::record_stage(StageStats st, double seconds, double bytes_read,
+                             double bytes_written) {
   st.seconds = seconds;
+  st.bytes_read = bytes_read;
+  st.bytes_written = bytes_written;
   count_stage(st);
   std::lock_guard<std::mutex> lk(stats_mu_);
   stats_.push_back(std::move(st));
@@ -167,7 +197,9 @@ void Engine<T>::s2m() {
                 double(sizeof(T)) * (double(cpm_ * ml * nb_leaf_) +
                                      double(cpm_ * q * nb_leaf_) + double(q * ml)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) * (double(cpm_ * ml * nb_leaf_) + double(q * ml)),
+               double(sizeof(T)) * double(cpm_ * q * nb_leaf_));
 }
 
 template <typename T>
@@ -185,7 +217,9 @@ void Engine<T>::m2m(int level) {
                 double(sizeof(T)) * (double(2 * cpm_ * q * nbl) +
                                      double(cpm_ * q * nbl) + double(2 * q * q)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) * (double(2 * cpm_ * q * nbl) + double(2 * q * q)),
+               double(sizeof(T)) * double(cpm_ * q * nbl));
 }
 
 template <typename T>
@@ -226,7 +260,10 @@ void Engine<T>::s2t() {
                 double(sizeof(T)) * (double(cp_ * ml * (nb_leaf_ + 2)) +
                                      2.0 * double(cp_ * ml * nb_leaf_)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) *
+                   (double(cp_ * ml * (nb_leaf_ + 2)) + double(cp_ * ml * nb_leaf_)),
+               double(sizeof(T)) * double(cp_ * ml * nb_leaf_));
 }
 
 template <typename T>
@@ -359,7 +396,10 @@ void Engine<T>::m2l_level(int level) {
                 double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
                                      double(cpm_ * q * (nbl + 4))),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) *
+                   (double(cpm_ * q * nbl) + double(cpm_ * q * (nbl + 4))),
+               double(sizeof(T)) * double(cpm_ * q * nbl));
 }
 
 template <typename T>
@@ -424,7 +464,10 @@ void Engine<T>::m2l_base() {
                 double(sizeof(T)) * (2.0 * double(cpm_ * q * nbl) +
                                      double(cpm_ * q * nb_global)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) *
+                   (double(cpm_ * q * nbl) + double(cpm_ * q * nb_global)),
+               double(sizeof(T)) * double(cpm_ * q * nbl));
 }
 
 template <typename T>
@@ -460,7 +503,8 @@ void Engine<T>::reduce() {
                 1, T(0), r_.data(), 1);
   record_stage({"REDUCE", KernelClass::Gemv, 2.0 * double(cpm_) * double(cols),
                 double(sizeof(T)) * (double(cpm_ * cols) + double(cpm_)), 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(), double(sizeof(T)) * double(cpm_ * cols),
+               double(sizeof(T)) * double(cpm_));
 }
 
 template <typename T>
@@ -477,7 +521,10 @@ void Engine<T>::l2l(int level) {
                 double(sizeof(T)) * (double(cpm_ * q * nbl) + double(2 * q * q) +
                                      2.0 * double(2 * cpm_ * q * nbl)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) * (double(cpm_ * q * nbl) + double(2 * q * q) +
+                                    double(2 * cpm_ * q * nbl)),
+               double(sizeof(T)) * double(2 * cpm_ * q * nbl));
 }
 
 template <typename T>
@@ -493,7 +540,10 @@ void Engine<T>::l2t() {
                 double(sizeof(T)) * (double(cpm_ * q * nb_leaf_) + double(q * ml) +
                                      2.0 * double(cpm_ * ml * nb_leaf_)),
                 1},
-               stage_timer_.seconds());
+               stage_timer_.seconds(),
+               double(sizeof(T)) * (double(cpm_ * q * nb_leaf_) + double(q * ml) +
+                                    double(cpm_ * ml * nb_leaf_)),
+               double(sizeof(T)) * double(cpm_ * ml * nb_leaf_));
 }
 
 template <typename T>

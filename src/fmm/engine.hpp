@@ -57,6 +57,12 @@ struct StageStats {
                              ///< fly are *not* counted)
   index_t launches = 1;
   double seconds = 0;        ///< native wall time of this launch
+  // Read/write split of mem_bytes for the traffic ledger. Appended after
+  // `seconds` (call sites brace-init the fields above positionally) and
+  // filled by named assignment; zero means "split unknown", in which case
+  // the ledger halves mem_bytes.
+  double bytes_read = 0;
+  double bytes_written = 0;
 };
 
 template <typename T>
@@ -143,7 +149,10 @@ class Engine {
   /// Append one stage's counts; safe from concurrent executor tasks
   /// (distinct engines never contend, but the stats vector is also read by
   /// driver-level aggregation while other engines still run).
-  void record_stage(StageStats st, double seconds);
+  /// `bytes_read`/`bytes_written` split st.mem_bytes for the traffic
+  /// ledger; pass 0/0 when only the sum is known (the ledger halves it).
+  void record_stage(StageStats st, double seconds, double bytes_read = 0,
+                    double bytes_written = 0);
 
   Params prm_;
   int c_;

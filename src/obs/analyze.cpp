@@ -118,10 +118,13 @@ Report analyze(const sim::Schedule& sched, const sim::SimResult& res,
     oa.id = (int)i;
     oa.label = ops[i].label;
     oa.stage = ops[i].stage;
+    oa.lane = ops[i].kind == Op::Kind::Meta ? std::string() : lane_name(ops[i]);
     oa.start = start((int)i);
     oa.end = end((int)i);
     oa.seconds = dur((int)i);
     oa.bound = classify(ops[i], arch);
+    oa.flops = ops[i].flops;
+    oa.bytes = ops[i].bytes;
     int best = -1;
     double best_end = -1.0;
     bool best_is_dep = false;
@@ -234,6 +237,7 @@ Report analyze(const sim::Schedule& sched, const sim::SimResult& res,
                                      : lane.idle_dep) += oa.gap;
       }
       lane.busy += dur(id);
+      lane.bytes += op.bytes;
       if (op.kind == Op::Kind::Kernel)
         lane.overhead += op.fixed_seconds != 0.0 ? dur(id)
                                                  : std::min(dur(id), arch.launch_overhead);
@@ -253,6 +257,17 @@ Report analyze(const sim::Schedule& sched, const sim::SimResult& res,
     BoundSlice& s = rep.bound_census[bound_name(rep.ops[i].bound)];
     s.count += 1;
     s.seconds += dur((int)i);
+  }
+
+  // -- Per-stage traffic rollup (words moved per flop, ROADMAP item 4).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind == Op::Kind::Meta) continue;
+    StageTraffic& st =
+        rep.stage_traffic[ops[i].stage.empty() ? "(untagged)" : ops[i].stage];
+    st.flops += ops[i].flops;
+    (ops[i].kind == Op::Kind::Comm ? st.comm_bytes : st.bytes) += ops[i].bytes;
+    st.seconds += dur((int)i);
+    st.count += 1;
   }
   return rep;
 }
@@ -309,6 +324,14 @@ std::string Report::to_string() const {
   for (const auto& [name, s] : bound_census)
     line(" %s %d (%.3f ms)", name.c_str(), s.count, s.seconds * 1e3);
   out += "\n";
+  if (!stage_traffic.empty()) {
+    out += "stage traffic (words moved per flop, f64 words):\n";
+    line("  %-10s %10s %10s %10s %8s %8s %8s\n", "stage", "flops", "bytes", "comm",
+         "AI", "w/flop", "GB/s");
+    for (const auto& [stage, st] : stage_traffic)
+      line("  %-10s %10.3g %10.3g %10.3g %8.3f %8.3f %8.2f\n", stage.c_str(), st.flops,
+           st.bytes, st.comm_bytes, st.intensity(), st.words_per_flop(), st.gbps());
+  }
   return out;
 }
 
@@ -361,6 +384,8 @@ void Report::write_json(std::ostream& os) const {
     jw.kv("idle_resource", l.idle_resource);
     jw.kv("idle_drain", l.idle_drain);
     jw.kv("utilization", l.utilization(total_seconds));
+    jw.kv("bytes", l.bytes);
+    jw.kv("gbps", l.gbps());
     jw.end_object();
   }
   jw.end_array();
@@ -388,6 +413,23 @@ void Report::write_json(std::ostream& os) const {
   }
   jw.end_object();
 
+  jw.key("stage_traffic");
+  jw.begin_object();
+  for (const auto& [stage, st] : stage_traffic) {
+    jw.key(stage);
+    jw.begin_object();
+    jw.kv("flops", st.flops);
+    jw.kv("bytes", st.bytes);
+    jw.kv("comm_bytes", st.comm_bytes);
+    jw.kv("seconds", st.seconds);
+    jw.kv("count", double(st.count));
+    jw.kv("arithmetic_intensity", st.intensity());
+    jw.kv("words_per_flop", st.words_per_flop());
+    jw.kv("gbps", st.gbps());
+    jw.end_object();
+  }
+  jw.end_object();
+
   jw.key("ops");
   jw.begin_array();
   for (const OpAnalysis& oa : ops) {
@@ -395,6 +437,7 @@ void Report::write_json(std::ostream& os) const {
     jw.kv("id", double(oa.id));
     jw.kv("label", oa.label);
     jw.kv("stage", oa.stage);
+    jw.kv("lane", oa.lane);
     jw.kv("start", oa.start);
     jw.kv("end", oa.end);
     jw.kv("seconds", oa.seconds);
@@ -402,6 +445,9 @@ void Report::write_json(std::ostream& os) const {
     jw.key("critical");
     jw.value(oa.critical);
     jw.kv("bound", bound_name(oa.bound));
+    jw.kv("flops", oa.flops);
+    jw.kv("bytes", oa.bytes);
+    jw.kv("intensity", oa.intensity());
     jw.kv("binding", double(oa.binding));
     jw.kv("gap", oa.gap);
     jw.end_object();

@@ -63,11 +63,18 @@ struct OpAnalysis {
   int id = -1;
   std::string label;  ///< copied from the Op so the Report is self-contained
   std::string stage;
+  std::string lane;  ///< lane_name of the op ("" for meta ops) — with
+                     ///< start/end/bytes this yields per-lane bandwidth
+                     ///< timelines straight from the exported ops array
   double start = 0, end = 0;
   double seconds = 0;  ///< simulated duration
   double slack = 0;    ///< latest start - actual start; 0 on the critical path
   bool critical = false;
   Bound bound = Bound::None;
+  double flops = 0;  ///< copied from the Op (kernel work)
+  double bytes = 0;  ///< kernel tensor bytes or transfer payload bytes
+  /// flops per byte moved; 0 when the op moves nothing.
+  double intensity() const { return bytes > 0 ? flops / bytes : 0.0; }
   int binding = -1;  ///< the constraint (dep or resource pred) whose finish
                      ///< set this op's start; -1 if it started unconstrained
   Wait wait = Wait::None;
@@ -88,14 +95,37 @@ struct LaneUtil {
   double idle_resource = 0;  ///< gaps waiting on shared engines
   double idle_drain = 0;     ///< leading/trailing idle (before first op,
                              ///< after last op, until the makespan)
+  double bytes = 0;  ///< bytes moved by this lane's ops (kernel tensor
+                     ///< traffic on compute lanes, payload on links)
   double utilization(double total_seconds) const {
     return total_seconds > 0 ? busy / total_seconds : 0.0;
   }
+  /// Achieved lane bandwidth over its busy time.
+  double gbps() const { return busy > 0 ? bytes / busy / 1e9 : 0.0; }
 };
 
 struct BoundSlice {
   int count = 0;
   double seconds = 0;
+};
+
+/// Traffic rollup of one Op::stage over the whole run: the "words moved
+/// per flop" table (ROADMAP item 4). Bytes come from the scheduled ops'
+/// exact §5 counts; on a measured run obs::TrafficLedger reports the same
+/// quantities from instrumented hot paths.
+struct StageTraffic {
+  double flops = 0;
+  double bytes = 0;       ///< kernel tensor bytes (read + written)
+  double comm_bytes = 0;  ///< transfer payload bytes
+  double seconds = 0;     ///< summed op durations (not wall: lanes overlap)
+  int count = 0;          ///< ops in the stage
+  double bytes_moved() const { return bytes + comm_bytes; }
+  double intensity() const { return bytes_moved() > 0 ? flops / bytes_moved() : 0.0; }
+  double words_per_flop(double word_bytes = 8.0) const {
+    return flops > 0 ? bytes_moved() / (word_bytes * flops) : 0.0;
+  }
+  /// Achieved bandwidth over the stage's busy seconds.
+  double gbps() const { return seconds > 0 ? bytes_moved() / seconds / 1e9 : 0.0; }
 };
 
 struct Report {
@@ -126,6 +156,9 @@ struct Report {
   std::map<int, int> device_lanes;
 
   std::map<std::string, BoundSlice> bound_census;  ///< keyed by bound_name
+
+  /// Per-stage traffic/intensity rollup (all ops, not just critical).
+  std::map<std::string, StageTraffic> stage_traffic;
 
   /// Seconds of ops whose Op::stage equals `stage` on the critical path.
   double critical_stage_seconds(const std::string& stage) const;

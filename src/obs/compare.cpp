@@ -5,9 +5,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/math.hpp"
 #include "model/counts.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_writer.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::obs {
 
@@ -107,6 +109,69 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
   rep.checks.push_back({"paper.m_halo", comm_ml, r * gd * paper.m_halo * real_bytes, kExact});
   rep.checks.push_back({"paper.m_base", comm_mb, r * gd * paper.m_base * real_bytes,
                         g > 1 ? 1.0 / gd + 1e-6 : 0.0});
+  return rep;
+}
+
+ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
+                                       double real_bytes, int runs) {
+  constexpr double kExact = 1e-9;
+  const auto snap = TrafficLedger::global().snapshot();
+  const double r = double(runs), gd = double(g);
+  const double n = double(prm.n);
+
+  // Sum a field over all ledger scopes with the given name prefix.
+  enum Field { kComm, kRw, kFlops };
+  auto sum = [&](const std::string& prefix, Field f) {
+    double s = 0;
+    for (const auto& [name, t] : snap) {
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      s += f == kComm ? t.comm_bytes : f == kRw ? t.bytes_read + t.bytes_written : t.flops;
+    }
+    return s;
+  };
+
+  double flops = 0, mem_scalars = 0;
+  for (const auto& st : model::exact_fmm_counts(prm, components, g)) {
+    flops += st.flops;
+    mem_scalars += st.mem_scalars;
+  }
+
+  ModelReport rep;
+  // The transpose payload — the §5.3 "exact for A2A" guarantee. Every
+  // device ships all but its own slab once: (G-1)/G · N complex elements.
+  rep.checks.push_back({"traffic.a2a_payload", sum("comm.A2A-2D", kComm),
+                        g > 1 ? r * (gd - 1.0) / gd * n * 2.0 * real_bytes : 0.0, kExact});
+  const auto exact = model::exact_fmm_comm(prm, components, g);
+  const double comm_mb = sum("comm.COMM-MB", kComm);
+  rep.checks.push_back({"traffic.comm_s", sum("comm.COMM-S", kComm),
+                        r * gd * exact.s_halo * real_bytes, kExact});
+  rep.checks.push_back({"traffic.comm_ml", sum("comm.COMM-M", kComm) - comm_mb,
+                        r * gd * exact.m_halo * real_bytes, kExact});
+  rep.checks.push_back(
+      {"traffic.comm_mb", comm_mb, r * gd * exact.m_base * real_bytes, kExact});
+
+  // FMM kernel traffic: the fmm.* scopes are compute-only (halo copies go
+  // to halo.cyclic), so read+written matches the model's mem_scalars.
+  rep.checks.push_back({"traffic.fmm_bytes", sum("fmm.", kRw),
+                        r * gd * mem_scalars * real_bytes, kExact});
+  rep.checks.push_back({"traffic.fmm_flops", sum("fmm.", kFlops), r * gd * flops, kExact});
+
+  // 2D-FFT stage data passes: summed over devices, M size-P rows plus P
+  // size-M columns, each transform reading and writing stockham_passes
+  // full lines. Predictable only for pow2 factors (no Bluestein configs in
+  // the canonical set).
+  const index_t p = prm.p, m = prm.m();
+  if (is_pow2(p) && is_pow2(m)) {
+    const double passes = double(stockham_passes(ilog2_exact(p))) +
+                          double(stockham_passes(ilog2_exact(m)));
+    rep.checks.push_back({"traffic.fft_bytes", sum("fft", kRw),
+                          r * 2.0 * passes * n * 2.0 * real_bytes, kExact});
+  }
+
+  // POST sweep (fused shape): reads the C-component T tensor once, writes
+  // the complex FFT input once.
+  rep.checks.push_back({"traffic.post_bytes", sum("post", kRw),
+                        r * (double(components) + 2.0) * n * real_bytes, kExact});
   return rep;
 }
 

@@ -55,4 +55,17 @@ struct ModelReport {
 ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g,
                                double real_bytes, int runs = 1);
 
+/// Compare TrafficLedger::global() against the §5 model for `runs`
+/// distributed FMM-FFT executions (any G >= 1, serial or async executor —
+/// the ledger records algorithmic traffic, so the totals are identical).
+/// Requires traffic collected with obs::enable_traffic() on and a clean
+/// ledger (obs::reset()). All checks are exact (~1e-9):
+///  * comm.A2A-2D payload vs the (G-1)/G·N single-transpose volume
+///  * comm.COMM-S / COMM-M* / COMM-MB vs model::exact_fmm_comm
+///  * fmm.* bytes (read+written) and flops vs model::exact_fmm_counts
+///  * fft bytes vs the Stockham pass count of the 2D stage (pow2 P, M)
+///  * post bytes vs the (C+2)·N single-sweep volume (fused post shape)
+ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
+                                       double real_bytes, int runs = 1);
+
 }  // namespace fmmfft::obs

@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "obs/trace_writer.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::obs {
 
@@ -47,10 +48,12 @@ void enable() {
 void disable() {
   enable_tracing(false);
   enable_metrics(false);
+  enable_traffic(false);
 }
 void reset() {
   Recorder::global().clear();
   Metrics::global().reset();
+  TrafficLedger::global().reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -170,10 +173,20 @@ void Counter::reset() {
 }
 
 void Histogram::observe(double v) {
+  // NaN carries no rank information and would poison sum(); drop it. +inf
+  // must not reach ilogb (ilogb(inf) == INT_MAX, and 1 + INT_MAX is signed
+  // overflow): clamp everything at or above the top bucket's lower edge
+  // first. Negative values (clock skew artifacts) land in bucket 0.
+  if (std::isnan(v)) return;
   int k = 0;
-  if (v >= 1.0) k = std::min(kBuckets - 1, 1 + std::ilogb(v));
+  if (v >= std::ldexp(1.0, kBuckets - 2)) {
+    k = kBuckets - 1;
+  } else if (v >= 1.0) {
+    k = std::min(kBuckets - 1, 1 + std::ilogb(v));
+  }
   buckets_[k].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  sum_.fetch_add(std::isinf(v) ? std::ldexp(1.0, kBuckets - 1) : v,
+                 std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::count() const {
@@ -189,7 +202,7 @@ double Histogram::percentile(double p) const {
   std::uint64_t snap[kBuckets];
   std::uint64_t total = 0;
   for (int k = 0; k < kBuckets; ++k) total += snap[k] = buckets_[k].load(std::memory_order_relaxed);
-  if (total == 0) return 0.0;
+  if (total == 0 || std::isnan(p)) return 0.0;
   const double rank = std::min(std::max(p, 0.0), 100.0) / 100.0 * double(total);
   double cum = 0;
   for (int k = 0; k < kBuckets; ++k) {

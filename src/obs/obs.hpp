@@ -56,7 +56,7 @@ inline bool enabled() { return tracing_enabled() || metrics_enabled(); }
 void enable_tracing(bool on = true);
 void enable_metrics(bool on = true);
 void enable();   ///< both facilities
-void disable();  ///< both facilities
+void disable();  ///< every facility (tracing, metrics, traffic ledger)
 /// Drop all recorded spans and zero every metric. Registered counters stay
 /// alive (hook sites hold references), only their values reset.
 void reset();

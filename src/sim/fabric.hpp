@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "obs/obs.hpp"
+#include "obs/traffic.hpp"
 
 namespace fmmfft::sim {
 
@@ -48,9 +49,12 @@ class Fabric {
       FMMFFT_COUNT("fabric.sends", 1);
       FMMFFT_COUNT("fabric.bytes", bytes);
       // Per-tag byte counters feed obs::compare_with_model; the name is
-      // dynamic, so this bypasses the static-reference macro.
+      // dynamic, so this bypasses the static-reference macro. The traffic
+      // ledger mirrors the same convention: payload bytes, off-device only.
       if (obs::metrics_enabled())
         obs::Metrics::global().counter("fabric.bytes." + tag).add(bytes);
+      if (obs::traffic_enabled())
+        obs::TrafficLedger::global().add_comm("comm." + tag, bytes);
     }
   }
 

@@ -6,9 +6,11 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <complex>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <new>
 #include <sstream>
@@ -208,6 +210,45 @@ TEST(Metrics, HistogramPercentiles) {
   EXPECT_NE(os.str().find("\"p50\""), std::string::npos);
   EXPECT_NE(os.str().find("\"p95\""), std::string::npos);
   EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+}
+
+TEST(Metrics, HistogramDegenerateInputsStayFinite) {
+  // Empty histogram: every percentile is 0, never NaN.
+  Histogram empty;
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_TRUE(std::isfinite(empty.percentile(p))) << p;
+    EXPECT_DOUBLE_EQ(empty.percentile(p), 0.0);
+  }
+
+  // Single sample: percentiles interpolate within one bucket, all finite.
+  Histogram one;
+  one.observe(3.0);
+  EXPECT_EQ(one.count(), 1u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) EXPECT_TRUE(std::isfinite(one.percentile(p))) << p;
+  EXPECT_GE(one.percentile(50), 2.0);
+  EXPECT_LE(one.percentile(50), 4.0);
+
+  // NaN observations are dropped; infinities clamp to the top bucket
+  // instead of overflowing ilogb into UB, and the sum stays finite.
+  Histogram weird;
+  weird.observe(std::nan(""));
+  EXPECT_EQ(weird.count(), 0u);
+  weird.observe(std::numeric_limits<double>::infinity());
+  weird.observe(-1.0);  // negative: below-one bucket
+  EXPECT_EQ(weird.count(), 2u);
+  EXPECT_TRUE(std::isfinite(weird.sum()));
+  EXPECT_TRUE(std::isfinite(weird.percentile(99)));
+  EXPECT_TRUE(std::isfinite(weird.percentile(std::nan(""))));
+
+  // The JSON emitter stays loadable with a registered-but-empty histogram.
+  ObsSession s(false, true);
+  Metrics::global().histogram("empty.h");
+  Metrics::global().histogram("single.h").observe(1.0);
+  std::ostringstream os;
+  Metrics::global().write_json(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
 }
 
 TEST(Json, ExportersEmitValidJson) {

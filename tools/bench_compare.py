@@ -18,9 +18,17 @@ Two tracks, selected by the baseline's schema field:
   native numbers depend on the host, so a slow machine must not fail CI.
   Hard failures are reserved for correctness: schema mismatch, a baseline
   bench missing from the fresh run, or a non-positive/non-finite metric.
+  EXCEPTION: rows with metric "bytes" are the traffic ledger's measured
+  algorithmic bytes moved — deterministic, machine-independent — and are
+  hard-gated: a fresh run moving >10% more bytes than the baseline fails.
   Refresh with:
 
       build/bench/bench_native BENCH_native.json
+
+Both tracks gate bytes moved: the simulated track's per-config "traffic"
+object (total bytes + comm bytes from the scheduled ops' exact counts) and
+the native track's "bytes" rows fail on a >10% increase, so a PR cannot
+silently regress memory traffic even when the makespan stays flat.
 """
 
 import argparse
@@ -32,6 +40,11 @@ SCHEMA = "fmmfft.bench.v1"
 SCHEMA_NATIVE = "fmmfft.bench.native.v1"
 # Per-config scalar metrics gated on relative increase (higher = worse).
 GATED = ["fmmfft_seconds", "baseline_seconds"]
+# Per-config traffic sub-object metrics gated on relative byte increase.
+GATED_TRAFFIC = ["bytes", "comm_bytes"]
+# Bytes are algorithmic (deterministic), so the gate is tight and fixed —
+# independent of the wall-clock --tolerance.
+TRAFFIC_TOLERANCE = 0.10
 # Sanity floor: the analyzer's critical path must stay a complete account.
 MIN_COVERAGE = 0.95
 
@@ -67,11 +80,16 @@ def compare_native(baseline_path, fresh_path):
             failures.append(f"{name}: non-positive or non-finite value {f['value']!r}")
             continue
         # seconds: lower is better; every throughput metric: higher is better.
-        better_low = b["metric"] == "seconds"
+        better_low = b["metric"] in ("seconds", "bytes")
         rel = (f["value"] - b["value"]) / b["value"] if b["value"] > 0 else 0.0
         shown = rel if not better_low else -rel
         print(f"{name:<{width}}  {b['metric']:<14} {b['value']:>10.3f} {f['value']:>10.3f} "
               f"{shown:>+7.1%}")
+        # Ledger bytes are deterministic, so unlike wall rows they hard-gate.
+        if b["metric"] == "bytes" and rel > TRAFFIC_TOLERANCE:
+            failures.append(
+                f"{name}: bytes moved regressed {rel:+.1%} "
+                f"({b['value']:.0f} -> {f['value']:.0f}, gate {TRAFFIC_TOLERANCE:.0%})")
     for name in fresh.keys() - base.keys():
         print(f"note: new bench {name} (not in baseline; commit a refresh to track it)")
 
@@ -144,6 +162,22 @@ def main():
         cov = f.get("critical", {}).get("coverage", 0.0)
         if cov < MIN_COVERAGE:
             failures.append(f"{name}: critical-path coverage {cov:.3f} < {MIN_COVERAGE}")
+        # Bytes-moved gate: the traffic object is exact op accounting, so any
+        # increase beyond the fixed tolerance is a real algorithmic change.
+        bt, ft = b.get("traffic"), f.get("traffic")
+        if bt is not None:
+            if ft is None:
+                failures.append(f"{name}: traffic object missing from fresh run")
+            else:
+                for metric in GATED_TRAFFIC:
+                    old, new = bt[metric], ft[metric]
+                    rel = (new - old) / old if old > 0 else 0.0
+                    rows.append((name, "traffic." + metric, old / 1e9, new / 1e9, rel))
+                    if rel > TRAFFIC_TOLERANCE:
+                        failures.append(
+                            f"{name}: traffic.{metric} regressed {rel:+.1%} "
+                            f"({old:.0f} -> {new:.0f} bytes, "
+                            f"gate {TRAFFIC_TOLERANCE:.0%})")
 
     for name in fresh.keys() - base.keys():
         print(f"note: new config {name} (not in baseline; commit a refresh to gate it)")
@@ -151,8 +185,12 @@ def main():
     width = max((len(r[0]) for r in rows), default=10)
     print(f"{'config':<{width}}  {'metric':<17} {'baseline':>12} {'fresh':>12} {'delta':>8}")
     for name, metric, old, new, rel in rows:
-        print(f"{name:<{width}}  {metric:<17} {old * 1e3:>10.3f}ms {new * 1e3:>10.3f}ms "
-              f"{rel:>+7.1%}")
+        if metric.startswith("traffic."):
+            print(f"{name:<{width}}  {metric:<17} {old:>10.3f}GB {new:>10.3f}GB "
+                  f"{rel:>+7.1%}")
+        else:
+            print(f"{name:<{width}}  {metric:<17} {old * 1e3:>10.3f}ms {new * 1e3:>10.3f}ms "
+                  f"{rel:>+7.1%}")
 
     if failures:
         print(f"\nREGRESSION ({len(failures)} failure(s), tolerance {args.tolerance:.0%}):")

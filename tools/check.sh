@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build (warnings surfaced), ctest, a smoke test
-# that the observability exporters produce loadable JSON, a benchmark
-# regression check against the committed BENCH_fmmfft.json baseline, and a
-# native-throughput check against BENCH_native.json (wall times report-only;
-# schema/coverage failures are hard).
+# that the observability exporters produce loadable JSON, a traffic-ledger
+# smoke test (measured bytes must match the §5 model exactly, including the
+# A2A payload), a benchmark regression check against the committed
+# BENCH_fmmfft.json baseline (including the bytes-moved gate), and a
+# native-throughput check against BENCH_native.json (wall times
+# report-only; schema/coverage/bytes failures are hard).
 #
 #   tools/check.sh [build-dir]     (default: build)
+#
+# Set CHECK_ARTIFACTS_DIR to keep the traffic report and roofline
+# calibration JSON (CI uploads them as workflow artifacts).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +62,47 @@ else
   echo "python3 not found; skipped JSON validation (files are non-empty)"
 fi
 
+echo "== traffic ledger smoke test =="
+TRAFFIC=$(mktemp --suffix=.json)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC"' EXIT
+TRAFFIC_LOG=$(mktemp)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC" "$TRAFFIC_LOG"' EXIT
+"$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 \
+  --traffic "$TRAFFIC" | tee "$TRAFFIC_LOG" | grep -E "traffic check" || true
+grep -q "traffic check: OK" "$TRAFFIC_LOG" || {
+  echo "TRAFFIC SMOKE FAILED: measured bytes deviate from the §5 model"
+  cat "$TRAFFIC_LOG"
+  exit 1
+}
+if command -v python3 >/dev/null; then
+  python3 - "$TRAFFIC" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+assert t["schema"] == "fmmfft.traffic.v1", t.get("schema")
+scopes = t["scopes"]
+need = {"fft", "post", "fmm.S2M", "fmm.M2M", "fmm.S2T", "fmm.M2L", "fmm.M2L-B",
+        "fmm.REDUCE", "fmm.L2L", "fmm.L2T", "a2a.pack", "a2a.unpack",
+        "comm.A2A-2D", "comm.COMM-S", "comm.COMM-MB"}
+missing = need - scopes.keys()
+assert not missing, f"traffic JSON missing scopes: {missing}"
+# The headline exact check: A2A fabric payload == (G-1)/G * N * 16 bytes.
+n, g = 1 << 14, 2
+a2a = scopes["comm.A2A-2D"]["comm_bytes"]
+model = (g - 1) / g * n * 2 * 8
+assert a2a == model, f"A2A payload {a2a} != model {model}"
+assert t["total"]["bytes_read"] > 0 and t["total"]["flops"] > 0
+print(f"traffic OK: {len(scopes)} scopes, A2A payload matches model exactly")
+EOF
+else
+  echo "python3 not found; skipped traffic JSON validation (file is non-empty)"
+  [ -s "$TRAFFIC" ] || { echo "TRAFFIC SMOKE FAILED: $TRAFFIC is empty"; exit 1; }
+fi
+if [ -n "${CHECK_ARTIFACTS_DIR:-}" ]; then
+  mkdir -p "$CHECK_ARTIFACTS_DIR"
+  cp "$TRAFFIC" "$CHECK_ARTIFACTS_DIR/traffic.json"
+  cp "$TRAFFIC_LOG" "$CHECK_ARTIFACTS_DIR/traffic_report.txt"
+fi
+
 echo "== bench regression gate =="
 FRESH=$(mktemp --suffix=.json)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$FRESH"' EXIT
@@ -72,6 +118,11 @@ echo "== native bench (wall times report-only) =="
 NATIVE=$(mktemp --suffix=.json)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$FRESH" "$NATIVE"' EXIT
 "$BUILD/bench/bench_native" "$NATIVE" >/dev/null
+if [ -n "${CHECK_ARTIFACTS_DIR:-}" ]; then
+  mkdir -p "$CHECK_ARTIFACTS_DIR"
+  # The fresh native JSON carries the machine's STREAM/FMA calibration.
+  cp "$NATIVE" "$CHECK_ARTIFACTS_DIR/bench_native_calibration.json"
+fi
 if command -v python3 >/dev/null; then
   python3 tools/bench_compare.py BENCH_native.json "$NATIVE"
 else
