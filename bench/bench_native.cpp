@@ -31,6 +31,7 @@
 #include "fft/fft.hpp"
 #include "fmm/engine.hpp"
 #include "fmm/params.hpp"
+#include "obs/health.hpp"
 #include "obs/trace_writer.hpp"
 #include "obs/traffic.hpp"
 
@@ -232,6 +233,29 @@ void bench_traffic_bytes() {
   obs::enable_traffic(was_enabled);
 }
 
+/// Flight-recorder hook overhead (metric "ns" per event). The "off" row is
+/// the always-on tax every hot path pays for FMMFFT_FLIGHT — it must stay
+/// at the one-relaxed-load-and-branch level the health layer promises, and
+/// is gated alongside the other obs overhead checks (test_obs's zero-alloc
+/// test asserts the same path allocates nothing). The "on" row shows the
+/// seqlocked ring-write cost when the recorder is armed.
+void bench_flight_overhead() {
+  using obs::health::Ev;
+  const int iters = 1 << 22;
+  obs::health::enable_flight(false);
+  const double off = time_best([&] {
+    for (int i = 0; i < iters; ++i) FMMFFT_FLIGHT(Mark, i, 0, "bench");
+  });
+  record("obs_flight_hook_off", "ns", off / iters * 1e9, off);
+  obs::health::enable_flight(true);
+  const double on = time_best([&] {
+    for (int i = 0; i < iters; ++i) FMMFFT_FLIGHT(Mark, i, 0, "bench");
+  });
+  record("obs_flight_hook_on", "ns", on / iters * 1e9, on);
+  obs::health::enable_flight(false);
+  obs::health::flight_clear();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,6 +298,8 @@ int main(int argc, char** argv) {
     if (!bench_dist_e2e(g)) return 1;
 
   bench_traffic_bytes();
+
+  bench_flight_overhead();
 
   // STREAM-style machine roofline: measured copy/scale/triad bandwidth and
   // peak FMA rate at 1 thread and at the pool width. Anchors the achieved

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "fmm/engine.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 
 namespace {
@@ -107,6 +108,27 @@ void BM_SpanEnabled(benchmark::State& state) {
   obs::Recorder::global().clear();
 }
 BENCHMARK(BM_SpanEnabled);
+
+void BM_FlightDisabled(benchmark::State& state) {
+  obs::health::enable_flight(false);
+  for (auto _ : state) {
+    FMMFFT_FLIGHT(Mark, 1, 0, "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FlightDisabled);
+
+void BM_FlightEnabled(benchmark::State& state) {
+  // The ring wraps by design, so no periodic clear is needed here.
+  obs::health::enable_flight(true);
+  for (auto _ : state) {
+    FMMFFT_FLIGHT(Mark, 1, 0, "bench");
+    benchmark::ClobberMemory();
+  }
+  obs::health::enable_flight(false);
+  obs::health::flight_clear();
+}
+BENCHMARK(BM_FlightEnabled);
 
 void BM_CountDisabled(benchmark::State& state) {
   obs::disable();

@@ -28,6 +28,7 @@
 #include "model/counts.hpp"
 #include "obs/analyze.hpp"
 #include "obs/compare.hpp"
+#include "obs/env.hpp"
 #include "obs/obs.hpp"
 #include "obs/traffic.hpp"
 
@@ -75,6 +76,8 @@ void print_usage(const char* argv0) {
       "                         comm payload, flops per stage), write its JSON and the\n"
       "                         traffic-vs-model check (same as FMMFFT_TRAFFIC=FILE)\n"
       "\n"
+      "  --env                  print every FMMFFT_* environment knob (name,\n"
+      "                         current value, default, description) and exit\n"
       "  --help                 this message\n",
       argv0);
 }
@@ -104,6 +107,10 @@ Options parse(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--help")) {
       print_usage(argv[0]);
+      std::exit(0);
+    }
+    if (!std::strcmp(argv[i], "--env")) {
+      std::printf("%s", fmmfft::obs::env::describe().c_str());
       std::exit(0);
     }
     if (opt("--trace", &o.trace) || opt("--metrics", &o.metrics) ||

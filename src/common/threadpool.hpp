@@ -18,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/env.hpp"
 #include "obs/obs.hpp"
 
 namespace fmmfft {
@@ -100,8 +101,8 @@ class ThreadPool {
   }
 
   static int default_workers() {
-    if (const char* env = std::getenv("FMMFFT_NUM_THREADS")) {
-      const int n = std::atoi(env);
+    if (const char* v = obs::env::get("FMMFFT_NUM_THREADS")) {
+      const int n = std::atoi(v);
       if (n >= 1) return n;
     }
     const unsigned hc = std::thread::hardware_concurrency();

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "dist/collectives.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 
 namespace fmmfft::dist {
@@ -103,6 +104,7 @@ void Dist2dFft<T>::execute_slabs(const std::vector<std::complex<T>*>& slabs,
   }
   exec::DeviceLanes lanes(g_);
   exec::TaskGraph graph(lanes.count());
+  graph.name_lanes(lanes);
   submit_slabs(graph, lanes, slabs, fabric);
   graph.run();
 }
@@ -112,22 +114,31 @@ void Dist2dFft<T>::execute_slabs_serial(const std::vector<std::complex<T>*>& sla
                                         sim::Fabric& fabric) {
   using Cx = std::complex<T>;
   const index_t slab = m_ * p_ / g_;
+  obs::health::PhaseSource hb("dist.2dfft.serial");
   // (a) M local FFTs of size P on the p-major data (M/G per device).
   {
     FMMFFT_SPAN("2DFFT-P");
-    for (int r = 0; r < g_; ++r)
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("fft-p", r);
       plan_p_.execute_batched(slabs[(std::size_t)r], m_ / g_, fft::Direction::Forward);
+    }
   }
   // (b) Π_{M,P} all-to-all — the FMM-FFT's single transpose.
+  hb.phase("a2a");
   auto sc = ptrs(scratch_);
   all_to_all_permute_mp(fabric, slabs, sc, m_, p_, "A2A-2D");
   // (c) P local FFTs of size M (P/G per device).
   {
     FMMFFT_SPAN("2DFFT-M");
-    for (int r = 0; r < g_; ++r)
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("fft-m", r);
       plan_m_.execute_batched(sc[(std::size_t)r], p_ / g_, fft::Direction::Forward);
+    }
   }
-  for (int r = 0; r < g_; ++r) std::memcpy(slabs[(std::size_t)r], sc[(std::size_t)r], sizeof(Cx) * slab);
+  for (int r = 0; r < g_; ++r) {
+    hb.phase("writeback", r);
+    std::memcpy(slabs[(std::size_t)r], sc[(std::size_t)r], sizeof(Cx) * slab);
+  }
 }
 
 template <typename T>

@@ -7,6 +7,7 @@
 #include "common/threadpool.hpp"
 #include "dist/collectives.hpp"
 #include "fmm/operators.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "obs/traffic.hpp"
 
@@ -133,10 +134,14 @@ template <typename InT>
 void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
   const index_t slab_n = prm_.n / g_;
   const int l = prm_.l(), b = prm_.b;
+  // Per-(stage, device) heartbeats: a stall inside one engine call is
+  // attributed to that exact stage loop by the watchdog.
+  obs::health::PhaseSource hb("dist.FmmFft.serial");
 
   // Device-resident load: natural-order slab r is exactly engine r's
   // S-tensor interior.
   for (int r = 0; r < g_; ++r) {
+    hb.phase("load", r);
     engines_[(std::size_t)r]->reset_stats();
     engines_[(std::size_t)r]->zero();
     std::memcpy(engines_[(std::size_t)r]->source_box(0), in + r * slab_n,
@@ -148,34 +153,67 @@ void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
   // is the strictly-ordered reference for A/B and bit-identity checks).
   {
     FMMFFT_SPAN("FMM");
-    for (auto& e : engines_) e->s2m();
-    exchange_source_halos();
-    for (auto& e : engines_) e->s2t();
-    for (int lev = l - 1; lev >= b; --lev)
-      for (auto& e : engines_) e->m2m(lev);
-    for (int lev = l; lev > b; --lev) {
-      exchange_multipole_halos(lev);
-      for (auto& e : engines_) e->m2l_level(lev);
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("s2m", r);
+      engines_[(std::size_t)r]->s2m();
     }
+    hb.phase("halo-s");
+    exchange_source_halos();
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("s2t", r);
+      engines_[(std::size_t)r]->s2t();
+    }
+    for (int lev = l - 1; lev >= b; --lev)
+      for (int r = 0; r < g_; ++r) {
+        hb.phase("m2m", r);
+        engines_[(std::size_t)r]->m2m(lev);
+      }
+    for (int lev = l; lev > b; --lev) {
+      hb.phase("halo-m");
+      exchange_multipole_halos(lev);
+      for (int r = 0; r < g_; ++r) {
+        hb.phase("m2l", r);
+        engines_[(std::size_t)r]->m2l_level(lev);
+      }
+    }
+    hb.phase("allgather");
     allgather_base();
-    for (auto& e : engines_) e->m2l_base();
-    for (auto& e : engines_) e->reduce();
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("m2l_base", r);
+      engines_[(std::size_t)r]->m2l_base();
+    }
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("reduce", r);
+      engines_[(std::size_t)r]->reduce();
+    }
     for (int lev = b; lev < l; ++lev)
-      for (auto& e : engines_) e->l2l(lev);
-    for (auto& e : engines_) e->l2t();
+      for (int r = 0; r < g_; ++r) {
+        hb.phase("l2l", r);
+        engines_[(std::size_t)r]->l2l(lev);
+      }
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("l2t", r);
+      engines_[(std::size_t)r]->l2t();
+    }
   }
 
-  for (int r = 0; r < g_; ++r) post_slab(r);
+  for (int r = 0; r < g_; ++r) {
+    hb.phase("post", r);
+    post_slab(r);
+  }
 
   // Distributed 2D FFT (one all-to-all), output in order.
   {
     FMMFFT_SPAN("FFT-2D");
+    hb.phase("fft2d");
     std::vector<Out*> sp;
     for (auto& s : slabs_) sp.push_back(s.data());
     fft2d_.execute_slabs(sp, fabric_);
-    for (int r = 0; r < g_; ++r)
+    for (int r = 0; r < g_; ++r) {
+      hb.phase("writeback", r);
       std::memcpy(out + r * slab_n, sp[(std::size_t)r],
                   sizeof(Out) * static_cast<std::size_t>(slab_n));
+    }
   }
 }
 
@@ -191,6 +229,7 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   const int l = prm_.l(), b = prm_.b;
   exec::DeviceLanes lanes(g_);
   exec::TaskGraph graph(lanes.count());
+  graph.name_lanes(lanes);
   auto dev = [](const std::string& what, int r) { return what + " d" + std::to_string(r); };
 
   // LOAD: slab r is engine r's S interior.

@@ -34,6 +34,7 @@
 // comparisons.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -44,10 +45,17 @@
 
 #include "common/threadpool.hpp"
 #include "common/types.hpp"
+#include "obs/health.hpp"
 
 namespace fmmfft::exec {
 
 using TaskId = int;
+
+/// Fault injection for watchdog drills and tests: the next graph task with
+/// this id sleeps `ms` milliseconds inside its body (after its TaskStart
+/// flight event), then disarms. FMMFFT_FAULT_STALL_TASK /
+/// FMMFFT_FAULT_STALL_MS arm the same hook from the environment.
+void inject_stall(TaskId id, int ms);
 
 enum class Mode { Serial, Async, Auto };
 
@@ -106,7 +114,7 @@ struct TaskRecord {
   int run_seq = -1;   ///< global completion order (-1 if cancelled)
 };
 
-class TaskGraph {
+class TaskGraph : public obs::health::Source {
  public:
   explicit TaskGraph(int lanes);
 
@@ -133,10 +141,27 @@ class TaskGraph {
   /// Per-task completion records; valid after run() returned.
   const std::vector<TaskRecord>& records() const { return records_; }
 
+  /// Name the lanes after the device convention ("compute d0", "copy 0->1")
+  /// so watchdog verdicts and exception messages attribute work to devices.
+  void name_lanes(const DeviceLanes& lanes);
+  /// Attribution label for one lane ("lane 3" when unnamed).
+  std::string lane_name(int lane) const;
+
+  // obs::health::Source — the graph registers itself for the duration of
+  // run() while the watchdog is enabled. progress() advances on every task
+  // start/finish; describe_stall() walks the graph state to name the stuck
+  // task, its stage/device lane, and the unfinished dependency chain.
+  const char* source_name() const override { return "exec.TaskGraph"; }
+  std::uint64_t progress() const override {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  std::string describe_stall() const override;
+
  private:
   struct Task {
     std::function<void()> fn;
     std::vector<TaskId> succ;
+    std::vector<TaskId> deps;  ///< retained for stall/failure attribution
     int unmet = 0;
   };
 
@@ -145,8 +170,10 @@ class TaskGraph {
   std::vector<Task> tasks_;
   std::vector<TaskRecord> records_;
   std::vector<TaskId> lane_tail_;  // last ordered task per lane (-1 = none)
+  std::vector<std::string> lane_names_;
 
-  std::mutex mu_;
+  std::atomic<std::uint64_t> progress_{0};
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<TaskId> ready_;  // FIFO via head_
   std::size_t head_ = 0;

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/env.hpp"
+#include "obs/health.hpp"
 #include "obs/trace_writer.hpp"
 #include "obs/traffic.hpp"
 
@@ -16,6 +18,13 @@ namespace detail {
 
 std::atomic<bool> g_trace_enabled{false};
 std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_span_hooks{false};
+
+void update_span_hooks() {
+  g_span_hooks.store(g_trace_enabled.load(std::memory_order_relaxed) ||
+                         health::sampling_enabled(),
+                     std::memory_order_relaxed);
+}
 
 std::uint64_t now_ns() {
   using clock = std::chrono::steady_clock;
@@ -31,11 +40,23 @@ thread_local int tls_depth = 0;
 int enter_span() { return tls_depth++; }
 void leave_span() { --tls_depth; }
 
+int open_span(const char* name) {
+  if (health::sampling_enabled()) health::detail::span_push(name);
+  return enter_span();
+}
+
+void close_span(const char* name, std::uint64_t start_ns, int depth) {
+  leave_span();
+  if (health::sampling_enabled()) health::detail::span_pop();
+  if (tracing_enabled()) record_span(name, start_ns, now_ns(), depth);
+}
+
 }  // namespace detail
 
 void enable_tracing(bool on) {
   if (on) Recorder::global();  // construct before first lock-free record
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  detail::update_span_hooks();
 }
 void enable_metrics(bool on) {
   if (on) Metrics::global();
@@ -340,8 +361,8 @@ void init_from_env() {
   static bool done = false;
   if (done) return;
   done = true;
-  const char* trace = std::getenv("FMMFFT_TRACE");
-  const char* metrics = std::getenv("FMMFFT_METRICS");
+  const char* trace = env::get("FMMFFT_TRACE");
+  const char* metrics = env::get("FMMFFT_METRICS");
   if (!trace && !metrics) return;
   // Construct the singletons *before* registering the atexit dump so they
   // are destroyed after it runs.

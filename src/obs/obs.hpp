@@ -42,11 +42,20 @@ namespace detail {
 // its environment-variable initializer) into any binary using the hooks.
 extern std::atomic<bool> g_trace_enabled;
 extern std::atomic<bool> g_metrics_enabled;
+/// True while any span consumer is live: tracing, or the health span
+/// sampler. SpanScope gates on this so the sampler sees the current-span
+/// stack without tracing enabled (same one-load disabled cost).
+extern std::atomic<bool> g_span_hooks;
+/// Recompute g_span_hooks from the tracing + sampling states.
+void update_span_hooks();
 std::uint64_t now_ns();  ///< steady-clock ns since the process epoch
 }  // namespace detail
 
 inline bool tracing_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+inline bool span_hooks_enabled() {
+  return detail::g_span_hooks.load(std::memory_order_relaxed);
 }
 inline bool metrics_enabled() {
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
@@ -80,6 +89,11 @@ namespace detail {
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns, int depth);
 int enter_span();  ///< returns this span's depth on the current lane
 void leave_span();
+/// Out-of-line SpanScope open/close: enter/leave the lane depth, publish to
+/// the health sampler's per-thread stack while sampling, and record the
+/// completed span while tracing. open_span returns the span's depth.
+int open_span(const char* name);
+void close_span(const char* name, std::uint64_t start_ns, int depth);
 }  // namespace detail
 
 /// RAII span scope. Construction/destruction with tracing disabled costs
@@ -87,21 +101,20 @@ void leave_span();
 class SpanScope {
  public:
   explicit SpanScope(const char* name) {
-    if (!tracing_enabled()) return;
+    if (!span_hooks_enabled()) return;
     open(name);
   }
   /// Dynamic-suffix form for tagged spans ("COMM-M7", fabric tags). The
   /// string is copied into the event, never retained.
   SpanScope(const char* prefix, const std::string& suffix) {
-    if (!tracing_enabled()) return;
+    if (!span_hooks_enabled()) return;
     char buf[SpanEvent::kNameCap];
     std::snprintf(buf, sizeof buf, "%s%s", prefix, suffix.c_str());
     open(buf);
   }
   ~SpanScope() {
     if (!active_) return;
-    detail::leave_span();
-    detail::record_span(name_, start_, detail::now_ns(), depth_);
+    detail::close_span(name_, start_, depth_);
   }
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
@@ -111,7 +124,7 @@ class SpanScope {
     active_ = true;
     std::strncpy(name_, name, sizeof name_ - 1);
     name_[sizeof name_ - 1] = '\0';
-    depth_ = detail::enter_span();
+    depth_ = detail::open_span(name_);
     start_ = detail::now_ns();
   }
   bool active_ = false;

@@ -100,6 +100,11 @@ void JsonWriter::value(bool v) {
   os_ << (v ? "true" : "false");
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  comma();
+  os_ << json;
+}
+
 TraceWriter::TraceWriter(std::ostream& os) : jw_(os) { jw_.begin_array(); }
 
 TraceWriter::~TraceWriter() {

@@ -39,6 +39,9 @@ class JsonWriter {
     key(k);
     value(v);
   }
+  /// Embed pre-serialized JSON verbatim as one value (e.g. a document
+  /// another writer produced). The caller guarantees `json` is well-formed.
+  void raw_value(std::string_view json);
 
  private:
   void comma();

@@ -10,6 +10,7 @@
 
 #include "common/threadpool.hpp"
 #include "common/timer.hpp"
+#include "obs/env.hpp"
 #include "obs/trace_writer.hpp"
 
 namespace fmmfft::obs {
@@ -382,12 +383,12 @@ bool write_traffic_file(const std::string& path) {
 }
 
 void init_traffic_from_env() {
-  if (const char* env = std::getenv("FMMFFT_TRAFFIC"); env && *env) {
+  if (const char* path = env::get("FMMFFT_TRAFFIC"); path && *path) {
     // Construct the singleton (and the path string, via traffic_path())
     // *before* registering the atexit dump so both are destroyed after it
     // runs — same discipline as obs::init_from_env.
     TrafficLedger::global();
-    traffic_path() = env;
+    traffic_path() = path;
     enable_traffic(true);
     std::atexit(dump_traffic_at_exit);
   }

@@ -84,7 +84,18 @@ TEST(TaskGraph, ExceptionPropagatesAndCancels) {
   const TaskId after =
       g.submit("after", {0, true, "t"}, [&ran_after] { ran_after = true; }, {boom});
   ThreadPool pool(2);
-  EXPECT_THROW(g.run(pool), std::runtime_error);
+  // The rethrown error carries the failing task's span/stage/lane labels on
+  // top of the original message.
+  try {
+    g.run(pool);
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'t:boom'"), std::string::npos) << what;
+    EXPECT_NE(what.find("stage 't'"), std::string::npos) << what;
+    EXPECT_NE(what.find("lane 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("task failed"), std::string::npos) << what;
+  }
   EXPECT_FALSE(ran_after);
   EXPECT_EQ(g.records()[(std::size_t)after].run_seq, -1);
 }

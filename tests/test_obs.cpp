@@ -22,6 +22,7 @@
 #include "dist/dfmmfft.hpp"
 #include "json_validator.hpp"
 #include "obs/compare.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_writer.hpp"
 
@@ -330,15 +331,18 @@ TEST(Json, ConcurrentRecordWhileDumpStaysValid) {
 
 TEST(Disabled, HooksDoNotAllocate) {
   disable();
+  health::enable_flight(false);
   reset();
   // Warm up: make sure any lazy TLS setup behind the hooks has happened.
   { FMMFFT_SPAN("warm"); }
   FMMFFT_COUNT("warm", 1);
+  FMMFFT_FLIGHT(Mark, 0, 0, "warm");
   const std::uint64_t before = g_allocs.load();
   for (int i = 0; i < 1000; ++i) {
     FMMFFT_SPAN("disabled");
     FMMFFT_SPAN("disabled:", std::string());  // suffix form short-circuits too
     FMMFFT_COUNT("disabled.count", i);
+    FMMFFT_FLIGHT(Mark, i, 0, "disabled");
   }
   EXPECT_EQ(g_allocs.load(), before);
 }

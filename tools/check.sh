@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build (warnings surfaced), ctest, a smoke test
+# Tier-1 gate: configure + build (warnings surfaced), ctest under an outer
+# timeout with the runtime health watchdog armed (a hung test trips the
+# in-process watchdog and leaves a *.postmortem.json next to the other
+# artifacts), a smoke test
 # that the observability exporters produce loadable JSON, a traffic-ledger
 # smoke test (measured bytes must match the §5 model exactly, including the
 # A2A payload), a benchmark regression check against the committed
@@ -30,8 +33,19 @@ fi
 WARNINGS=$(grep -c "warning" "$BUILD_LOG" || true)
 echo "build OK (${WARNINGS} warnings)"
 
-echo "== ctest =="
-ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure | tail -3
+echo "== ctest (watchdog-armed) =="
+# The suite runs with the runtime health layer armed: a test that stops
+# making progress trips the in-process watchdog after FMMFFT_WATCHDOG_MS
+# and writes a postmortem dump (stuck task, stage/device, blocking chain)
+# into the artifacts dir, while the outer `timeout` guarantees CI itself
+# never wedges. CTEST_TIMEOUT caps the whole suite, not one test.
+CTEST_TIMEOUT=${CTEST_TIMEOUT:-1800}
+POSTMORTEM_DIR=${CHECK_ARTIFACTS_DIR:-$BUILD}
+mkdir -p "$POSTMORTEM_DIR"
+FMMFFT_WATCHDOG_MS=${FMMFFT_WATCHDOG_MS:-60000} \
+  FMMFFT_POSTMORTEM="$POSTMORTEM_DIR/ctest.postmortem.json" \
+  timeout "$CTEST_TIMEOUT" \
+  ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure | tail -3
 
 echo "== trace smoke test =="
 TRACE=$(mktemp --suffix=.json)
