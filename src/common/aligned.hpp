@@ -1,5 +1,11 @@
 // Cache-line/SIMD aligned heap buffers. The BLAS and FFT substrates assume
 // 64-byte alignment of all operand storage.
+//
+// Large buffers are zero-initialized with a parallel_for stripe across the
+// pool so pages are first-touched by the threads that will compute on them
+// (first-touch NUMA placement: on multi-socket hosts the kernel backs a
+// page on the touching core's node). Small buffers initialize inline — the
+// fork/join would cost more than the placement is worth.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +14,7 @@
 #include <new>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 #include "common/types.hpp"
 
 namespace fmmfft {
@@ -38,6 +45,13 @@ struct AlignedAllocator {
   }
 };
 
+/// Element count above which Buffer zero-init runs as a parallel
+/// first-touch stripe (~1 MiB of payload).
+template <typename T>
+constexpr index_t buffer_parallel_touch_threshold() {
+  return index_t((std::size_t(1) << 20) / sizeof(T));
+}
+
 /// Fixed-size aligned buffer of trivially-copyable scalars, zero-initialized.
 /// Movable, non-copyable: the library treats buffers as owned workspaces.
 template <typename T>
@@ -47,9 +61,23 @@ class Buffer {
   explicit Buffer(index_t n) : n_(n) {
     FMMFFT_CHECK(n >= 0);
     if (n > 0) {
-      data_.reset(static_cast<T*>(::operator new[](static_cast<std::size_t>(n) * sizeof(T),
-                                                   std::align_val_t(kAlignment))));
-      std::uninitialized_value_construct_n(data_.get(), static_cast<std::size_t>(n));
+      T* p = static_cast<T*>(::operator new[](static_cast<std::size_t>(n) * sizeof(T),
+                                              std::align_val_t(kAlignment)));
+      data_.reset(p);
+      if (n >= buffer_parallel_touch_threshold<T>()) {
+        // First-touch: stripe the zero-init across the pool, page-granular
+        // grain so no page is split between touching threads. Degrades to
+        // the inline loop when nested or serial-forced (parallel_for).
+        const index_t grain = std::max<index_t>(1, index_t(4096 / sizeof(T)));
+        parallel_for(
+            n,
+            [p](index_t b, index_t e) {
+              std::uninitialized_value_construct_n(p + b, static_cast<std::size_t>(e - b));
+            },
+            grain);
+      } else {
+        std::uninitialized_value_construct_n(p, static_cast<std::size_t>(n));
+      }
     }
   }
 

@@ -1,23 +1,61 @@
 // Collective operations over the simulated fabric: the distributed
 // block-to-cyclic transpose (one all-to-all), ring halo exchange, and
-// allgather. Message granularity is one staged buffer per device pair, so
+// allgather. Message granularity is one (src, dst) pair per device pair, so
 // fabric byte counts correspond to real message traffic.
+//
+// The all-to-all is *fused*: devices share one address space in the
+// simulator, so the per-pair message is a single strided gather-scatter
+// from the producer's slab straight into the consumer's final layout
+// (peer-to-peer strided writes, the AccFFT fused-pack discipline). Each
+// element is read once and written once — no staging buffers, no extra
+// round trip — and the fabric records the payload via Fabric::record so
+// message accounting is identical to the staged path. The staged
+// pack/copy/unpack reference is kept below as the equivalence oracle.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/permute.hpp"
+#include "common/threadpool.hpp"
 #include "common/types.hpp"
 #include "sim/fabric.hpp"
 
 namespace fmmfft::dist {
 
+namespace detail {
+
+/// Fused message of the Π_{M,P} all-to-all for ordered pair (r → rr),
+/// rows [row_lo, row_hi) of sender r's local m-range: scatter
+/// out[rr][(r·mg + pm) + pp·m] = in[r][(rr·pg + pp) + pm·p] in one strided
+/// cache-oblivious pass. Records the gather side as a2a.pack (reads) and
+/// the scatter side as a2a.unpack (writes): one read + one write per
+/// element, half the staged path's four.
+template <typename T>
+void a2a_pair_fused(const T* in_r, T* out_rr, int r, int rr, index_t m, index_t p,
+                    index_t mg, index_t pg, index_t row_lo, index_t row_hi) {
+  const index_t rows = row_hi - row_lo;
+  if (rows <= 0) return;
+  const double payload = double(rows) * double(pg) * sizeof(T);
+  FMMFFT_TRAFFIC_RW("a2a.pack", payload, 0, 0);
+  FMMFFT_TRAFFIC_RW("a2a.unpack", 0, payload, 0);
+  // Element (pp, pm): src at (rr·pg + pp) + pm·p (pg×rows, ld p), dst at
+  // (r·mg + pm) + pp·m — exactly a pg×rows strided transpose.
+  fmmfft::detail::transpose_strided_serial(in_r + rr * pg + row_lo * p, p,
+                                           out_rr + r * mg + row_lo, m, pg, rows);
+}
+
+}  // namespace detail
+
 /// Distributed Π_{M,P}: y[m + p·M] = x[p + m·P] with both x and y block
 /// partitioned into G contiguous slabs of N/G elements. Rank r owns
 /// m ∈ [r·M/G, (r+1)·M/G) on the input side and p ∈ [r·P/G, (r+1)·P/G)
 /// on the output side; every ordered pair exchanges (M/G)·(P/G) elements.
+/// Pairs write disjoint output blocks, so they stripe across the pool;
+/// pure copies keep the result independent of the worker count.
 template <typename T>
 void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
                            const std::vector<T*>& out, index_t m, index_t p,
@@ -26,7 +64,33 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
   FMMFFT_CHECK((index_t)in.size() == g && (index_t)out.size() == g);
   FMMFFT_CHECK(m % g == 0 && p % g == 0);
   const index_t mg = m / g, pg = p / g;
-  Buffer<T> stage_src(mg * pg), stage_dst(mg * pg);
+  FMMFFT_ASSERT(in[0] != out[0]);  // fused scatter requires distinct slabs
+  parallel_for(
+      index_t(g) * g,
+      [&](index_t q0, index_t q1) {
+        for (index_t q = q0; q < q1; ++q) {
+          const int r = int(q / g), rr = int(q % g);  // sender r, receiver rr
+          detail::a2a_pair_fused(in[(std::size_t)r], out[(std::size_t)rr], r, rr, m, p, mg,
+                                 pg, 0, mg);
+          fabric.record(r, rr, double(mg) * double(pg) * sizeof(T), tag);
+        }
+      },
+      /*grain=*/1);
+}
+
+/// Staged reference all-to-all: pack into a send buffer, fabric copy,
+/// unpack — the pre-fusion data path. Kept as the bit-identity oracle for
+/// the fused path (tests) and as the bench contrast. Staging lives in the
+/// calling thread's ScratchArena, so steady-state calls allocate nothing.
+template <typename T>
+void all_to_all_permute_mp_staged(sim::Fabric& fabric, const std::vector<T*>& in,
+                                  const std::vector<T*>& out, index_t m, index_t p,
+                                  const std::string& tag) {
+  const int g = fabric.num_devices();
+  FMMFFT_CHECK((index_t)in.size() == g && (index_t)out.size() == g);
+  FMMFFT_CHECK(m % g == 0 && p % g == 0);
+  const index_t mg = m / g, pg = p / g;
+  ScratchBlock<T> stage_src(mg * pg), stage_dst(mg * pg);
   for (int r = 0; r < g; ++r) {        // sender: owns m-range [r*mg, ...)
     for (int rr = 0; rr < g; ++rr) {   // receiver: owns p-range [rr*pg, ...)
       // Pack elements (p, m) with p in rr's range from r's input slab.
@@ -53,7 +117,8 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
 /// Cyclic ring halo exchange: every rank receives `halo_elems` elements
 /// from each neighbour. `lo_dst[r]` receives the *last* halo_elems of
 /// rank r-1's interior (`hi_src`), `hi_dst[r]` the *first* halo_elems of
-/// rank r+1's interior (`lo_src`).
+/// rank r+1's interior (`lo_src`). Sends are direct interior-to-halo
+/// copies — no staging to hoist.
 template <typename T>
 void halo_exchange_ring(sim::Fabric& fabric, const std::vector<const T*>& lo_src,
                         const std::vector<const T*>& hi_src, const std::vector<T*>& lo_dst,
@@ -69,7 +134,8 @@ void halo_exchange_ring(sim::Fabric& fabric, const std::vector<const T*>& lo_src
 
 /// Allgather: rank r contributes `slab_elems` at slab_src[r]; afterwards
 /// every rank's `full_dst` holds all G slabs in rank order. The local slab
-/// is copied locally (no traffic recorded).
+/// is copied locally (no traffic recorded). Sends land in the destination
+/// slot directly — no staging to hoist.
 template <typename T>
 void allgather(sim::Fabric& fabric, const std::vector<const T*>& slab_src,
                const std::vector<T*>& full_dst, index_t slab_elems, const std::string& tag) {

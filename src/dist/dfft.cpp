@@ -179,54 +179,41 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
           std::move(deps)));
     }
 
-  // (b) The single all-to-all, chunk-pipelined: for every (src, dst) pair
-  // and row chunk, pack on src, copy on the pair's link lane, unpack on
-  // dst. Each triple owns its staging buffers, so chunks overlap freely;
-  // the chunk's pack waits only on the row FFTs that produced its rows.
-  std::vector<std::vector<exec::TaskId>> unpacks((std::size_t)g_);
+  // (b) The single all-to-all, chunk-pipelined and fused: for every
+  // (src, dst) pair and row chunk, one strided gather-scatter on src's
+  // compute lane writes the chunk straight into dst's scratch slab (the
+  // simulator's one-address-space twin of peer-to-peer strided writes) —
+  // no staging buffers, no memmove. The pair's link lane carries a record
+  // task accounting the payload, so lane structure and fabric bytes are
+  // unchanged from the staged path. A chunk's pack waits only on the row
+  // FFTs that produced its rows; chunks write disjoint dst regions, so
+  // they overlap freely.
+  std::vector<std::vector<exec::TaskId>> arrived((std::size_t)g_);
   std::vector<std::vector<exec::TaskId>> packs_from((std::size_t)g_);
   for (int r = 0; r < g_; ++r) {
     for (int rr = 0; rr < g_; ++rr) {
       for (index_t c = 0; c < nc; ++c) {
         const index_t lo = c * step, hi = std::min(mg, lo + step);
         if (lo >= hi) break;
-        const index_t rows = hi - lo, cnt = rows * pg;
-        auto sbuf = std::make_shared<Buffer<Cx>>(cnt);
-        auto dbuf = std::make_shared<Buffer<Cx>>(cnt);
+        const index_t cnt = (hi - lo) * pg;
         const Cx* in = slabs[(std::size_t)r];
         Cx* out = sc[(std::size_t)rr];
         const std::string sfx = " " + std::to_string(r) + "->" + std::to_string(rr) + " c" +
                                 std::to_string(c);
         const exec::TaskId pack = graph.submit(
             "pack" + sfx, {lanes.compute(r), /*ordered=*/false, "a2a"},
-            [this, in, sbuf, lo, hi, rr, pg] {
-              index_t k = 0;
-              FMMFFT_TRAFFIC_RW("a2a.pack", double(hi - lo) * double(pg) * sizeof(Cx),
-                                double(hi - lo) * double(pg) * sizeof(Cx), 0);
-              for (index_t pm = lo; pm < hi; ++pm)
-                for (index_t pp = 0; pp < pg; ++pp)
-                  (*sbuf)[k++] = in[(rr * pg + pp) + pm * p_];
+            [this, in, out, lo, hi, r, rr, mg, pg] {
+              detail::a2a_pair_fused(in, out, r, rr, m_, p_, mg, pg, lo, hi);
             },
             {fftp[(std::size_t)r][(std::size_t)c]});
         const exec::TaskId copy = graph.submit(
             "copy" + sfx, {lanes.copy(r, rr), /*ordered=*/true, "a2a"},
-            [&fabric, r, rr, sbuf, dbuf, cnt] {
-              fabric.send(r, rr, sbuf->data(), dbuf->data(), cnt, "A2A-2D");
+            [&fabric, r, rr, cnt] {
+              fabric.record(r, rr, double(cnt) * sizeof(Cx), "A2A-2D");
             },
             {pack});
-        const exec::TaskId unpack = graph.submit(
-            "unpack" + sfx, {lanes.compute(rr), /*ordered=*/false, "a2a"},
-            [this, out, dbuf, lo, hi, r, mg, pg] {
-              index_t k = 0;
-              FMMFFT_TRAFFIC_RW("a2a.unpack", double(hi - lo) * double(pg) * sizeof(Cx),
-                                double(hi - lo) * double(pg) * sizeof(Cx), 0);
-              for (index_t pm = lo; pm < hi; ++pm)
-                for (index_t pp = 0; pp < pg; ++pp)
-                  out[(r * mg + pm) + pp * m_] = (*dbuf)[k++];
-            },
-            {copy});
         packs_from[(std::size_t)r].push_back(pack);
-        unpacks[(std::size_t)rr].push_back(unpack);
+        arrived[(std::size_t)rr].push_back(copy);
       }
     }
   }
@@ -239,7 +226,7 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
     const exec::TaskId join =
         graph.submit("a2a-join d" + std::to_string(r),
                      {lanes.compute(r), /*ordered=*/false, "sync"}, [] {},
-                     unpacks[(std::size_t)r]);
+                     arrived[(std::size_t)r]);
     std::vector<exec::TaskId> fftm;
     const index_t stepm = (pg + nc - 1) / nc;
     for (index_t c = 0; c < nc; ++c) {

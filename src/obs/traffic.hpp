@@ -21,7 +21,9 @@
 //   fmm.S2M, fmm.M2M, ...   FMM stage tensor traffic (level suffixes folded)
 //   fft                     Stockham / Bluestein passes over the data
 //   transpose               permute_mp / transpose_blocked
-//   a2a.pack, a2a.unpack    all-to-all staging on the compute lanes
+//   a2a.pack, a2a.unpack    fused all-to-all: pack = the strided gather's
+//                           reads, unpack = the scatter's writes (one read
+//                           + one write per element, no staging copies)
 //   comm.<tag>              fabric payload bytes (comm_bytes, not rd/wr)
 //   post                    §4.9 post-processing sweep
 //   halo.cyclic             single-address-space halo copies (G = 1)

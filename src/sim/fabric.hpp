@@ -1,7 +1,9 @@
 // Byte-accounting interconnect for the *numerical* execution of distributed
 // runs. Devices are simulated as separate memory arenas in one address
-// space: a transfer is a memcpy plus a ledger entry, so tests can verify
-// that the bytes actually moved match the §5.2 communication model and the
+// space: a transfer is a memcpy plus a ledger entry (send), or — for the
+// fused all-to-all, whose payload moves zero-copy as strided peer-to-peer
+// writes — just the ledger entry (record). Either way tests can verify
+// that the bytes that moved match the §5.2 communication model and the
 // schedule emitted for the timeline simulator.
 #pragma once
 
@@ -37,27 +39,43 @@ class Fabric {
     if (count == 0) return;
     FMMFFT_SPAN("xfer:", tag);
     std::memmove(d, s, sizeof(T) * static_cast<std::size_t>(count));
-    if (src != dst) {
-      const double bytes = double(sizeof(T)) * double(count);
-      {
-        // The async executor issues copies from concurrent tasks; the ledger
-        // is the only shared mutable state (the payload regions are disjoint
-        // by construction of the dependency graph).
-        std::lock_guard<std::mutex> lk(mu_);
-        ledger_.push_back({src, dst, bytes, tag});
-      }
-      FMMFFT_COUNT("fabric.sends", 1);
-      FMMFFT_COUNT("fabric.bytes", bytes);
-      // Per-tag byte counters feed obs::compare_with_model; the name is
-      // dynamic, so this bypasses the static-reference macro. The traffic
-      // ledger mirrors the same convention: payload bytes, off-device only.
-      if (obs::metrics_enabled())
-        obs::Metrics::global().counter("fabric.bytes." + tag).add(bytes);
-      if (obs::traffic_enabled())
-        obs::TrafficLedger::global().add_comm("comm." + tag, bytes);
-    }
+    account(src, dst, double(sizeof(T)) * double(count), tag);
   }
 
+  /// Account a transfer whose payload already moved zero-copy (the fused
+  /// all-to-all scatters producer slabs straight into consumer layouts, so
+  /// there is no contiguous message to memmove). Ledger entries, metrics
+  /// and traffic-ledger comm bytes are identical to send()'s; self-pairs
+  /// are local placement and not recorded, like self send()s.
+  void record(int src, int dst, double bytes, const std::string& tag) {
+    FMMFFT_CHECK(src >= 0 && src < g_ && dst >= 0 && dst < g_);
+    if (src == dst || bytes <= 0) return;
+    FMMFFT_SPAN("xfer:", tag);
+    account(src, dst, bytes, tag);
+  }
+
+ private:
+  void account(int src, int dst, double bytes, const std::string& tag) {
+    if (src == dst || bytes <= 0) return;
+    {
+      // The async executor issues copies from concurrent tasks; the ledger
+      // is the only shared mutable state (the payload regions are disjoint
+      // by construction of the dependency graph).
+      std::lock_guard<std::mutex> lk(mu_);
+      ledger_.push_back({src, dst, bytes, tag});
+    }
+    FMMFFT_COUNT("fabric.sends", 1);
+    FMMFFT_COUNT("fabric.bytes", bytes);
+    // Per-tag byte counters feed obs::compare_with_model; the name is
+    // dynamic, so this bypasses the static-reference macro. The traffic
+    // ledger mirrors the same convention: payload bytes, off-device only.
+    if (obs::metrics_enabled())
+      obs::Metrics::global().counter("fabric.bytes." + tag).add(bytes);
+    if (obs::traffic_enabled())
+      obs::TrafficLedger::global().add_comm("comm." + tag, bytes);
+  }
+
+ public:
   /// Readers run between graph executions (tests, reports), never
   /// concurrently with send(); the lock still guards against torn reads
   /// if they ever do.

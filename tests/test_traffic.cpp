@@ -135,10 +135,13 @@ TEST(Ledger, AllToAllBytesHandCounted) {
   dist::all_to_all_permute_mp(fabric, in, out, m, p, "A2A-T");
 
   const auto snap = TrafficLedger::global().snapshot();
-  // Pack and unpack each touch every element once: 4 pairs x 4 doubles.
+  // Fused path: pack is the strided gather's read side, unpack the
+  // scatter's write side — one read + one write per element, 4 pairs x 4
+  // doubles each. The staged path's extra copy (pack-write + unpack-read)
+  // is gone: those columns are exactly zero.
   EXPECT_DOUBLE_EQ(snap.at("a2a.pack").bytes_read, 4 * 4 * 8.0);
-  EXPECT_DOUBLE_EQ(snap.at("a2a.pack").bytes_written, 4 * 4 * 8.0);
-  EXPECT_DOUBLE_EQ(snap.at("a2a.unpack").bytes_read, 4 * 4 * 8.0);
+  EXPECT_DOUBLE_EQ(snap.at("a2a.pack").bytes_written, 0.0);
+  EXPECT_DOUBLE_EQ(snap.at("a2a.unpack").bytes_read, 0.0);
   EXPECT_DOUBLE_EQ(snap.at("a2a.unpack").bytes_written, 4 * 4 * 8.0);
   // Fabric payload counts off-device sends only: 2 pairs x 4 doubles, which
   // is the (G-1)/G share of the 16-element permutation.
@@ -146,6 +149,47 @@ TEST(Ledger, AllToAllBytesHandCounted) {
 
   // Permutation correctness unaffected by the accounting.
   EXPECT_DOUBLE_EQ(buf_out[1], buf_in[4]);
+}
+
+TEST(Ledger, FusedAllToAllHalvesStagedBytes) {
+  // The staged reference moves every element four times (pack rd+wr,
+  // unpack rd+wr); the fused path moves it twice. Same fabric payload,
+  // bit-identical outputs.
+  const index_t m = 16, p = 8;
+  const int g = 4;
+  std::vector<double> buf_in(std::size_t(m * p)), out_fused(buf_in.size()),
+      out_staged(buf_in.size());
+  for (std::size_t i = 0; i < buf_in.size(); ++i) buf_in[i] = double(i) * 0.5;
+  const index_t slab = m * p / g;
+  std::vector<double*> in, of, os;
+  for (int r = 0; r < g; ++r) {
+    in.push_back(buf_in.data() + r * slab);
+    of.push_back(out_fused.data() + r * slab);
+    os.push_back(out_staged.data() + r * slab);
+  }
+
+  double fused_moved = 0, staged_moved = 0, fused_comm = 0, staged_comm = 0;
+  {
+    TrafficSession s;
+    sim::Fabric fabric(g);
+    dist::all_to_all_permute_mp(fabric, in, of, m, p, "A2A-T");
+    const auto snap = TrafficLedger::global().snapshot();
+    fused_moved = snap.at("a2a.pack").bytes_moved() + snap.at("a2a.unpack").bytes_moved();
+    fused_comm = snap.at("comm.A2A-T").comm_bytes;
+  }
+  {
+    TrafficSession s;
+    sim::Fabric fabric(g);
+    dist::all_to_all_permute_mp_staged(fabric, in, os, m, p, "A2A-T");
+    const auto snap = TrafficLedger::global().snapshot();
+    staged_moved = snap.at("a2a.pack").bytes_moved() + snap.at("a2a.unpack").bytes_moved();
+    staged_comm = snap.at("comm.A2A-T").comm_bytes;
+  }
+  EXPECT_DOUBLE_EQ(fused_moved, 2.0 * double(m) * double(p) * 8.0);
+  EXPECT_DOUBLE_EQ(staged_moved, 4.0 * double(m) * double(p) * 8.0);
+  EXPECT_DOUBLE_EQ(fused_moved, 0.5 * staged_moved);
+  EXPECT_DOUBLE_EQ(fused_comm, staged_comm);  // §5.2 message payload unchanged
+  EXPECT_EQ(out_fused, out_staged);
 }
 
 TEST(Ledger, SerialAndAsyncTotalsAreIdentical) {
@@ -227,6 +271,40 @@ TEST(Disabled, TrafficHooksDoNotAllocate) {
   // The disabled hooks recorded nothing beyond the two warm-up adds.
   EXPECT_DOUBLE_EQ(TrafficLedger::global().total(false).bytes_moved(), 3.0);
   reset();
+}
+
+TEST(Disabled, CollectivesSteadyStateDoesNotAllocate) {
+  // With observability off (the disabled-observability bench rows), a
+  // steady-state all-to-all must allocate nothing: the fused path writes
+  // straight into the destination slabs, the staged reference leases its
+  // stage from the thread-local ScratchArena, and the fabric ledger's
+  // vector keeps its capacity across reset(). Serial-forced so
+  // parallel_for takes its direct-call path (no std::function).
+  disable();
+  reset();
+  ThreadPool::ScopedSerial serial;
+  const index_t m = 16, p = 8;
+  const int g = 4;
+  std::vector<double> buf_in(std::size_t(m * p), 1.0), buf_out(buf_in.size());
+  const index_t slab = m * p / g;
+  std::vector<double*> in, out;
+  for (int r = 0; r < g; ++r) {
+    in.push_back(buf_in.data() + r * slab);
+    out.push_back(buf_out.data() + r * slab);
+  }
+  sim::Fabric fabric(g);
+  // Warm-up: grow the ledger vector, fault in the arena slabs.
+  dist::all_to_all_permute_mp(fabric, in, out, m, p, "A2A-T");
+  dist::all_to_all_permute_mp_staged(fabric, in, out, m, p, "A2A-T");
+  fabric.reset();
+
+  const std::uint64_t before = g_allocs.load();
+  for (int rep = 0; rep < 100; ++rep) {
+    dist::all_to_all_permute_mp(fabric, in, out, m, p, "A2A-T");
+    dist::all_to_all_permute_mp_staged(fabric, in, out, m, p, "A2A-T");
+    fabric.reset();
+  }
+  EXPECT_EQ(g_allocs.load(), before);
 }
 
 TEST(Calibration, RooflineRatesAreFiniteAndPositive) {

@@ -93,6 +93,7 @@ def compare_native(baseline_path, fresh_path):
     for name in fresh.keys() - base.keys():
         print(f"note: new bench {name} (not in baseline; commit a refresh to track it)")
 
+    print_bytes_trend(base, fresh)
     print_overlap_ratios(base, fresh)
 
     if failures:
@@ -101,6 +102,38 @@ def compare_native(baseline_path, fresh_path):
             print(f"  {msg}")
         sys.exit(1)
     print(f"\nnative bench OK ({len(base)} benches present; wall deltas report-only)")
+
+
+def print_bytes_trend(base, fresh):
+    """Bytes-moved trend per traffic key (metric "bytes" rows).
+
+    These rows are the memory-traffic ledger's deterministic counts, so the
+    trend is a property of the code, not the host. The +10% hard gate is
+    relative to the *committed* baseline: when a key decreases, committing
+    the fresh run ratchets the gate down to the improved level, making the
+    reduction permanent.
+    """
+    keys = sorted(n for n, b in base.items() if b["metric"] == "bytes")
+    if not keys:
+        return
+    print("\nbytes-moved trend (deterministic ledger rows, vs committed baseline):")
+    improved = []
+    for name in keys:
+        b, f = base[name], fresh.get(name)
+        if f is None or f["metric"] != "bytes":
+            continue
+        rel = (f["value"] - b["value"]) / b["value"] if b["value"] > 0 else 0.0
+        if rel < -0.005:
+            marker = "improved"
+            improved.append(name)
+        elif rel > TRAFFIC_TOLERANCE:
+            marker = "REGRESSED"
+        else:
+            marker = "flat"
+        print(f"  {name:<28} {b['value']:>14.0f} -> {f['value']:>14.0f}  {rel:+7.1%}  {marker}")
+    if improved:
+        print(f"  hint: bytes decreased on {', '.join(improved)}; commit the fresh run "
+              f"as BENCH_native.json to ratchet the {TRAFFIC_TOLERANCE:.0%} gate down.")
 
 
 def print_overlap_ratios(base, fresh):

@@ -104,8 +104,16 @@ n, g = 1 << 14, 2
 a2a = scopes["comm.A2A-2D"]["comm_bytes"]
 model = (g - 1) / g * n * 2 * 8
 assert a2a == model, f"A2A payload {a2a} != model {model}"
+# Fused all-to-all ratchet: pack is the gather's read side, unpack the
+# scatter's write side — exactly one read + one write per element. The
+# staged path's extra copies (4x) would double these; fail if they return.
+n16 = n * 2 * 8
+pk, up = scopes["a2a.pack"], scopes["a2a.unpack"]
+assert pk["bytes_read"] == n16 and pk["bytes_written"] == 0, pk
+assert up["bytes_written"] == n16 and up["bytes_read"] == 0, up
 assert t["total"]["bytes_read"] > 0 and t["total"]["flops"] > 0
-print(f"traffic OK: {len(scopes)} scopes, A2A payload matches model exactly")
+print(f"traffic OK: {len(scopes)} scopes, A2A payload matches model exactly, "
+      f"fused pack/unpack at 2x payload")
 EOF
 else
   echo "python3 not found; skipped traffic JSON validation (file is non-empty)"
