@@ -152,8 +152,9 @@ void bench_a2a(index_t m, index_t p, int g) {
 /// paths against the scalar per-separation reference loops, on live engine
 /// state (sources loaded, multipole tree built, halos filled). Both paths
 /// produce bit-identical outputs; the delta here is pure kernel speed.
-void bench_engine_kernels() {
-  using E = fmm::Engine<double>;
+template <typename T>
+void bench_engine_kernels_typed(const std::string& suffix, bool with_ref) {
+  using E = fmm::Engine<T>;
   auto prime = [](E& eng, const fmm::Params& prm) {
     fill_uniform(eng.source_box(0), eng.source_box_elems() * eng.local_leaves(), 8);
     eng.zero();
@@ -169,13 +170,17 @@ void bench_engine_kernels() {
     E eng(prm, 2);
     prime(eng, prm);
     double sec = time_best([&] { eng.s2t(); });
-    record("fmm_s2t_n16", "seconds", sec, sec);
-    sec = time_best([&] { eng.s2t_reference(); });
-    record("fmm_s2t_n16_ref", "seconds", sec, sec);
+    record("fmm_s2t_n16" + suffix, "seconds", sec, sec);
+    if (with_ref) {
+      sec = time_best([&] { eng.s2t_reference(); });
+      record("fmm_s2t_n16_ref", "seconds", sec, sec);
+    }
     sec = time_best([&] { eng.m2l_level(prm.l()); });
-    record("fmm_m2l_leaf_n16", "seconds", sec, sec);
-    sec = time_best([&] { eng.m2l_level_reference(prm.l()); });
-    record("fmm_m2l_leaf_n16_ref", "seconds", sec, sec);
+    record("fmm_m2l_leaf_n16" + suffix, "seconds", sec, sec);
+    if (with_ref) {
+      sec = time_best([&] { eng.m2l_level_reference(prm.l()); });
+      record("fmm_m2l_leaf_n16_ref", "seconds", sec, sec);
+    }
     eng.reset_stats();
   }
   {
@@ -185,11 +190,20 @@ void bench_engine_kernels() {
     E eng(prm, 2);
     prime(eng, prm);
     double sec = time_best([&] { eng.m2l_base(); });
-    record("fmm_m2l_base_bb64", "seconds", sec, sec);
-    sec = time_best([&] { eng.m2l_base_reference(); });
-    record("fmm_m2l_base_bb64_ref", "seconds", sec, sec);
+    record("fmm_m2l_base_bb64" + suffix, "seconds", sec, sec);
+    if (with_ref) {
+      sec = time_best([&] { eng.m2l_base_reference(); });
+      record("fmm_m2l_base_bb64_ref", "seconds", sec, sec);
+    }
     eng.reset_stats();
   }
+}
+
+void bench_engine_kernels() {
+  bench_engine_kernels_typed<double>("", /*with_ref=*/true);
+  // The mixed-precision translation kernels: same shapes, fp32 operators
+  // and expansions — the per-kernel speedup behind FMMFFT_PRECISION=mixed.
+  bench_engine_kernels_typed<float>("_f32", /*with_ref=*/false);
 }
 
 void bench_fmmfft_e2e() {
@@ -197,7 +211,9 @@ void bench_fmmfft_e2e() {
   // M_L=16 (L=6), Q=14 — complex double, the paper's CD configuration.
   const fmm::Params prm{index_t(1) << 16, 64, 16, 2, 14};
   using Cx = std::complex<double>;
-  core::FmmFft<Cx> plan(prm);
+  // Pin the precision: the rows are named fp64/mixed, so an ambient
+  // FMMFFT_PRECISION (CI's mixed leg) must not re-label them silently.
+  core::FmmFft<Cx> plan(prm, /*fuse_post=*/true, fmm::Precision::Fp64);
   Buffer<Cx> in(prm.n), out(prm.n);
   fill_uniform(in.data(), prm.n, 7);
 
@@ -208,20 +224,27 @@ void bench_fmmfft_e2e() {
   }
   double sec = time_best([&] { plan.execute(in.data(), out.data()); });
   record("fmmfft_e2e_n16_pool", "seconds", sec, sec);
+
+  // Mixed-precision contrast on the same plan and input: fp32 translation
+  // under the fp64 shell (FMMFFT_PRECISION=mixed).
+  core::FmmFft<Cx> mixed(prm, /*fuse_post=*/true, fmm::Precision::Mixed);
+  sec = time_best([&] { mixed.execute(in.data(), out.data()); });
+  record("fmmfft_e2e_n16_mixed_pool", "seconds", sec, sec);
 }
 
 /// Distributed end-to-end: the serial reference driver vs the async
 /// task-graph executor on the same DistFmmFft instance, g devices. Outputs
 /// must be byte-identical — the executor's whole point is reordering
 /// without renumbering. Returns false on a mismatch.
-bool bench_dist_e2e(int g) {
+bool bench_dist_e2e(int g, fmm::Precision prec = fmm::Precision::Fp64) {
   // Shapes divide by every g in {2, 4}: m = 1024, p = 64, 8 base boxes.
   const fmm::Params prm{index_t(1) << 16, 64, 8, 3, 14};
   using Cx = std::complex<double>;
-  dist::DistFmmFft<Cx> plan(prm, g);
+  dist::DistFmmFft<Cx> plan(prm, g, prec);
   Buffer<Cx> in(prm.n), out_serial(prm.n), out_async(prm.n);
   fill_uniform(in.data(), prm.n, 40 + g);
-  const std::string base = "dfmmfft_e2e_g" + std::to_string(g);
+  const std::string base = "dfmmfft_e2e_g" + std::to_string(g) +
+                           (prec == fmm::Precision::Mixed ? "_mixed" : "");
 
   {
     exec::ScopedMode sm(exec::Mode::Serial);
@@ -252,7 +275,7 @@ void bench_traffic_bytes() {
   obs::enable_traffic(true);
   {
     const fmm::Params prm{index_t(1) << 16, 64, 16, 2, 14};
-    core::FmmFft<Cx> plan(prm);
+    core::FmmFft<Cx> plan(prm, /*fuse_post=*/true, fmm::Precision::Fp64);
     Buffer<Cx> in(prm.n), out(prm.n);
     fill_uniform(in.data(), prm.n, 7);
     obs::TrafficLedger::global().reset();
@@ -264,7 +287,7 @@ void bench_traffic_bytes() {
   }
   {
     const fmm::Params prm{index_t(1) << 16, 64, 8, 3, 14};
-    dist::DistFmmFft<Cx> plan(prm, 2);
+    dist::DistFmmFft<Cx> plan(prm, 2, fmm::Precision::Fp64);
     Buffer<Cx> in(prm.n), out(prm.n);
     fill_uniform(in.data(), prm.n, 42);
     obs::TrafficLedger::global().reset();
@@ -283,6 +306,32 @@ void bench_traffic_bytes() {
     if (snap.count("a2a.pack")) a2a += snap.at("a2a.pack").bytes_moved();
     if (snap.count("a2a.unpack")) a2a += snap.at("a2a.unpack").bytes_moved();
     record("traffic_dfmmfft_g2_a2a", "bytes", a2a, sec);
+  }
+  {
+    // Same distributed shape under FMMFFT_PRECISION=mixed. The per-precision
+    // comm split makes the mixed win auditable per key: the fp32 rows carry
+    // the halved FMM halo/allgather payload, the fp64 row is the untouched
+    // shell-width all-to-all. All of these are hard-gated like the rows
+    // above — regressing the mixed byte diet fails the bench gate.
+    const fmm::Params prm{index_t(1) << 16, 64, 8, 3, 14};
+    dist::DistFmmFft<Cx> plan(prm, 2, fmm::Precision::Mixed);
+    Buffer<Cx> in(prm.n), out(prm.n);
+    fill_uniform(in.data(), prm.n, 42);
+    obs::TrafficLedger::global().reset();
+    WallTimer t;
+    plan.execute(in.data(), out.data());
+    const double sec = t.seconds();
+    const auto total = obs::TrafficLedger::global().total();
+    record("traffic_dfmmfft_g2_mixed", "bytes", total.bytes_moved(), sec);
+    record("traffic_dfmmfft_g2_mixed_comm", "bytes", total.comm_bytes, sec);
+    double comm_f32 = 0, comm_f64 = 0;
+    for (const auto& [name, tt] : obs::TrafficLedger::global().snapshot()) {
+      if (name.rfind("comm.", 0) != 0) continue;
+      const bool f32 = name.size() > 4 && name.compare(name.size() - 4, 4, ".f32") == 0;
+      (f32 ? comm_f32 : comm_f64) += tt.comm_bytes;
+    }
+    record("traffic_dfmmfft_g2_mixed_comm_f32", "bytes", comm_f32, sec);
+    record("traffic_dfmmfft_g2_mixed_comm_f64", "bytes", comm_f64, sec);
   }
   obs::TrafficLedger::global().reset();
   obs::enable_traffic(was_enabled);
@@ -328,6 +377,10 @@ int main(int argc, char** argv) {
   bench_gemm_batched<double>("gemm_f64_batched_s2m", 512, 18, 8, 64, /*shared_b=*/true);
   // M2M/L2L shape: the flattened two-child operator, k = 2Q.
   bench_gemm_batched<double>("gemm_f64_batched_m2m", 512, 18, 36, 32, /*shared_b=*/true);
+  // fp32 twins of both batched shapes: the GEMM side of the mixed-precision
+  // translation pipeline (FMMFFT_PRECISION=mixed).
+  bench_gemm_batched<float>("gemm_f32_batched_s2m", 512, 18, 8, 64, /*shared_b=*/true);
+  bench_gemm_batched<float>("gemm_f32_batched_m2m", 512, 18, 36, 32, /*shared_b=*/true);
   // Per-item-B contrast: same shapes through the per-item dispatch path.
   bench_gemm_batched<double>("gemm_f64_batched_s2m_peritem", 512, 18, 8, 64, false);
   bench_gemm_batched<double>("gemm_f64_batched_m2m_peritem", 512, 18, 36, 32, false);
@@ -356,6 +409,7 @@ int main(int argc, char** argv) {
   // scales with hardware threads; byte-identity is checked regardless).
   for (int g : {2, 4})
     if (!bench_dist_e2e(g)) return 1;
+  if (!bench_dist_e2e(2, fmm::Precision::Mixed)) return 1;
 
   bench_traffic_bytes();
 

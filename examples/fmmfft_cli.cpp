@@ -141,17 +141,20 @@ int run(const Options& o) {
   using Out = std::complex<Real>;
   const index_t n = index_t(1) << o.log2n;
 
+  // Translation precision (FMMFFT_PRECISION): Mixed narrows the FMM
+  // pipeline and its comm payloads to fp32 under an fp64 shell.
+  const fmm::Precision prec = fmm::default_precision();
   fmm::Params prm;
   if (o.p > 0) {
     prm = fmm::Params{n, o.p, o.ml, o.b, o.q};
     prm.validate_distributed(o.devices);
   } else {
-    prm = fmm::suggest_params(n, o.eps, o.devices);
+    prm = fmm::suggest_params(n, o.eps, o.devices, prec, sizeof(Real) == 8);
   }
-  std::printf("plan: %s  devices=%d  precision=%s\n", prm.to_string().c_str(), o.devices,
-              o.precision.c_str());
+  std::printf("plan: %s  devices=%d  precision=%s  translation=%s\n", prm.to_string().c_str(),
+              o.devices, o.precision.c_str(), fmm::to_string(prec));
   std::printf("predicted rel l2 error: %.1e\n",
-              fmm::predict_rel_error(prm.q, sizeof(Real) == 8));
+              fmm::predict_rel_error(prm.q, sizeof(Real) == 8, prec));
 
   if (!o.trace.empty()) obs::enable_tracing(true);
   if (!o.metrics.empty()) obs::enable_metrics(true);
@@ -163,14 +166,14 @@ int run(const Options& o) {
 
   WallTimer t;
   if (o.devices > 1) {
-    dist::DistFmmFft<InT> plan(prm, o.devices);
+    dist::DistFmmFft<InT> plan(prm, o.devices, prec);
     const double setup = t.seconds();
     t.reset();
     plan.execute(x.data(), y.data());
     std::printf("setup %.1f ms, execute %.1f ms, comm %.2f MB over the fabric\n", setup * 1e3,
                 t.seconds() * 1e3, plan.fabric().total_bytes() / 1e6);
   } else {
-    core::FmmFft<InT> plan(prm);
+    core::FmmFft<InT> plan(prm, /*fuse_post=*/true, prec);
     const double setup = t.seconds();
     t.reset();
     plan.execute(x.data(), y.data());
@@ -183,7 +186,8 @@ int run(const Options& o) {
   // would add its own fft.flops to the counters.
   if (obs::metrics_enabled()) {
     const auto report =
-        obs::compare_with_model(prm, is_complex_v<InT> ? 2 : 1, o.devices, sizeof(Real));
+        obs::compare_with_model(prm, is_complex_v<InT> ? 2 : 1, o.devices, sizeof(Real), 1,
+                                fmm::translation_real_bytes(prec, sizeof(Real)));
     std::printf("\nmodel vs measured (FMMFFT_METRICS):\n%s", report.to_string().c_str());
     std::printf("model check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
   }
@@ -205,8 +209,9 @@ int run(const Options& o) {
   if (!o.traffic.empty()) {
     // Same ordering constraint: the exact-FFT verification below would add
     // its own fft bytes to the ledger.
-    const auto report = obs::compare_traffic_with_model(prm, is_complex_v<InT> ? 2 : 1,
-                                                        o.devices, sizeof(Real));
+    const auto report = obs::compare_traffic_with_model(
+        prm, is_complex_v<InT> ? 2 : 1, o.devices, sizeof(Real), 1,
+        fmm::translation_real_bytes(prec, sizeof(Real)));
     std::printf("\ntraffic vs model (FMMFFT_TRAFFIC):\n%s", report.to_string().c_str());
     std::printf("traffic check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
     std::printf("\n%s", obs::TrafficLedger::global().report().c_str());
@@ -257,7 +262,7 @@ int run(const Options& o) {
       }
     }
   }
-  return err < fmm::predict_rel_error(prm.q, sizeof(Real) == 8) ? 0 : 1;
+  return err < fmm::predict_rel_error(prm.q, sizeof(Real) == 8, prec) ? 0 : 1;
 }
 
 }  // namespace

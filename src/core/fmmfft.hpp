@@ -18,6 +18,7 @@
 #include "fft/fft.hpp"
 #include "fmm/engine.hpp"
 #include "fmm/params.hpp"
+#include "fmm/precision.hpp"
 
 namespace fmmfft::core {
 
@@ -55,12 +56,20 @@ class FmmFft {
   using Real = real_of_t<InT>;
   using Out = std::complex<Real>;
 
-  explicit FmmFft(const fmm::Params& prm, bool fuse_post = true);
+  /// `prec` selects the FMM translation width (fmm/precision.hpp): Fp64
+  /// runs the engine in the shell precision (the pre-existing pipeline,
+  /// bit for bit); Mixed runs it in fp32 under an fp64 shell, converting
+  /// at the load and POST boundaries only. Under an fp32 shell Mixed
+  /// collapses to the native fp32 pipeline. Defaults to FMMFFT_PRECISION.
+  explicit FmmFft(const fmm::Params& prm, bool fuse_post = true,
+                  fmm::Precision prec = fmm::default_precision());
   ~FmmFft();
   FmmFft(FmmFft&&) noexcept;
   FmmFft& operator=(FmmFft&&) noexcept;
 
   const fmm::Params& params() const;
+  /// The precision policy this plan was built with.
+  fmm::Precision precision() const;
 
   /// Compute output = F_N · input. Both length N; out-of-place.
   void execute(const InT* input, Out* output);

@@ -72,7 +72,8 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
           const int r = int(q / g), rr = int(q % g);  // sender r, receiver rr
           detail::a2a_pair_fused(in[(std::size_t)r], out[(std::size_t)rr], r, rr, m, p, mg,
                                  pg, 0, mg);
-          fabric.record(r, rr, double(mg) * double(pg) * sizeof(T), tag);
+          fabric.record(r, rr, double(mg) * double(pg) * sizeof(T), tag,
+                        sizeof(real_of_t<T>) == 4);
         }
       },
       /*grain=*/1);

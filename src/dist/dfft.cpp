@@ -209,7 +209,8 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
         const exec::TaskId copy = graph.submit(
             "copy" + sfx, {lanes.copy(r, rr), /*ordered=*/true, "a2a"},
             [&fabric, r, rr, cnt] {
-              fabric.record(r, rr, double(cnt) * sizeof(Cx), "A2A-2D");
+              fabric.record(r, rr, double(cnt) * sizeof(Cx), "A2A-2D",
+                            sizeof(real_of_t<Cx>) == 4);
             },
             {pack});
         packs_from[(std::size_t)r].push_back(pack);

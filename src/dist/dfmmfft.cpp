@@ -14,16 +14,21 @@
 namespace fmmfft::dist {
 
 template <typename InT>
-DistFmmFft<InT>::DistFmmFft(const fmm::Params& prm, int g)
+DistFmmFft<InT>::DistFmmFft(const fmm::Params& prm, int g, fmm::Precision prec)
     : prm_(prm),
       g_(g),
       c_(components_v<InT>),
+      prec_(prec),
       fabric_(g),
       fft2d_(prm.m(), prm.p, g),
       rho_(static_cast<std::size_t>(prm.p)) {
   prm_.validate_distributed(g);
+  const bool mixed = prec_ == fmm::Precision::Mixed && sizeof(Real) == 8;
   for (int r = 0; r < g_; ++r) {
-    engines_.push_back(std::make_unique<fmm::Engine<Real>>(prm_, c_, g_, r));
+    if (mixed)
+      engines32_.push_back(std::make_unique<fmm::Engine<float>>(prm_, c_, g_, r));
+    else
+      engines_.push_back(std::make_unique<fmm::Engine<Real>>(prm_, c_, g_, r));
     slabs_.emplace_back(prm_.n / g_);
   }
   for (index_t p = 1; p < prm_.p; ++p) {
@@ -33,13 +38,15 @@ DistFmmFft<InT>::DistFmmFft(const fmm::Params& prm, int g)
 }
 
 template <typename InT>
-void DistFmmFft<InT>::exchange_source_halos() {
+template <typename ER>
+void DistFmmFft<InT>::exchange_source_halos_t() {
   // COMM S: one leaf box to each neighbour, cyclic (§4.2).
-  const index_t elems = engines_[0]->source_box_elems();
-  const index_t nb = engines_[0]->local_leaves();
-  std::vector<const Real*> lo_src, hi_src;
-  std::vector<Real*> lo_dst, hi_dst;
-  for (auto& e : engines_) {
+  auto& es = eset<ER>();
+  const index_t elems = es[0]->source_box_elems();
+  const index_t nb = es[0]->local_leaves();
+  std::vector<const ER*> lo_src, hi_src;
+  std::vector<ER*> lo_dst, hi_dst;
+  for (auto& e : es) {
     lo_src.push_back(e->source_box(0));
     hi_src.push_back(e->source_box(nb - 1));
     lo_dst.push_back(e->source_box(-1));
@@ -49,13 +56,15 @@ void DistFmmFft<InT>::exchange_source_halos() {
 }
 
 template <typename InT>
-void DistFmmFft<InT>::exchange_multipole_halos(int level) {
+template <typename ER>
+void DistFmmFft<InT>::exchange_multipole_halos_t(int level) {
   // COMM Mℓ: two boxes to each neighbour (§4.2).
-  const index_t elems = 2 * engines_[0]->expansion_box_elems();
-  const index_t nbl = engines_[0]->local_boxes(level);
-  std::vector<const Real*> lo_src, hi_src;
-  std::vector<Real*> lo_dst, hi_dst;
-  for (auto& e : engines_) {
+  auto& es = eset<ER>();
+  const index_t elems = 2 * es[0]->expansion_box_elems();
+  const index_t nbl = es[0]->local_boxes(level);
+  std::vector<const ER*> lo_src, hi_src;
+  std::vector<ER*> lo_dst, hi_dst;
+  for (auto& e : es) {
     lo_src.push_back(e->multipole_box(level, 0));
     hi_src.push_back(e->multipole_box(level, nbl - 2));
     lo_dst.push_back(e->multipole_box(level, -2));
@@ -66,34 +75,41 @@ void DistFmmFft<InT>::exchange_multipole_halos(int level) {
 }
 
 template <typename InT>
-void DistFmmFft<InT>::allgather_base() {
+template <typename ER>
+void DistFmmFft<InT>::allgather_base_t() {
   // COMM M_B: all-to-all gather of the base-level multipoles (§4.7).
-  const index_t slab = engines_[0]->local_boxes(prm_.b) * engines_[0]->expansion_box_elems();
-  std::vector<const Real*> src;
-  std::vector<Real*> dst;
+  auto& es = eset<ER>();
+  const index_t slab = es[0]->local_boxes(prm_.b) * es[0]->expansion_box_elems();
+  std::vector<const ER*> src;
+  std::vector<ER*> dst;
   for (int r = 0; r < g_; ++r) {
-    src.push_back(engines_[(std::size_t)r]->multipole_box(prm_.b,
-                                                          engines_[(std::size_t)r]->box_offset(prm_.b)));
-    dst.push_back(engines_[(std::size_t)r]->multipole_box(prm_.b, 0));
+    src.push_back(es[(std::size_t)r]->multipole_box(prm_.b,
+                                                    es[(std::size_t)r]->box_offset(prm_.b)));
+    dst.push_back(es[(std::size_t)r]->multipole_box(prm_.b, 0));
   }
   allgather(fabric_, src, dst, slab, "COMM-MB");
 }
 
 template <typename InT>
-void DistFmmFft<InT>::post_slab(int r) {
+template <typename ER>
+void DistFmmFft<InT>::post_slab_t(int r) {
   // POST fused with the 2D-FFT load (§4.9 line 15): slab element
   // n = p + P·mg with mg in rank r's range. Rows are independent
   // elementwise work, so the parallel_for split is bit-identical (and it
-  // degrades to the plain loop inside an executor task).
+  // degrades to the plain loop inside an executor task). The T tensor is
+  // read at the engine width ER and widened scalar-by-scalar; the rho
+  // rotation and the slab it writes stay at the shell width.
   FMMFFT_SPAN("POST");
   const index_t slab_n = prm_.n / g_;
-  // Streams T once (c_ reals per element) and writes the complex slab; the
-  // tiny rho/reduction tables are excluded like the FMM operator tables.
-  FMMFFT_TRAFFIC_RW("post", double(c_) * double(slab_n) * sizeof(Real),
+  // Streams T once (c_ engine reals per element) and writes the complex
+  // shell-width slab; the tiny rho/reduction tables are excluded like the
+  // FMM operator tables.
+  FMMFFT_TRAFFIC_RW("post", double(c_) * double(slab_n) * sizeof(ER),
                     2.0 * double(slab_n) * sizeof(Real), 0);
   const index_t p_total = prm_.p;
-  const Real* t = engines_[(std::size_t)r]->target_box(0);
-  const Real* rr = engines_[(std::size_t)r]->reduction();
+  auto& es = eset<ER>();
+  const ER* t = es[(std::size_t)r]->target_box(0);
+  const ER* rr = es[(std::size_t)r]->reduction();
   Out* s = slabs_[(std::size_t)r].data();
   const index_t m_loc = slab_n / p_total;
   parallel_for(
@@ -104,14 +120,14 @@ void DistFmmFft<InT>::post_slab(int r) {
             const index_t i = p + p_total * mg;
             Out tv;
             if (c_ == 2)
-              tv = Out(t[2 * i], t[2 * i + 1]);
+              tv = Out(Real(t[2 * i]), Real(t[2 * i + 1]));
             else
-              tv = Out(t[i], 0);
+              tv = Out(Real(t[i]), 0);
             if (p == 0) {
               s[i] = tv;
             } else {
-              const Out rp = c_ == 2 ? Out(rr[2 * (p - 1)], rr[2 * (p - 1) + 1])
-                                     : Out(0, rr[p - 1]);
+              const Out rp = c_ == 2 ? Out(Real(rr[2 * (p - 1)]), Real(rr[2 * (p - 1) + 1]))
+                                     : Out(0, Real(rr[p - 1]));
               // For c == 1 rp already carries the i·r_p rotation.
               s[i] = rho_[(std::size_t)p] * (c_ == 2 ? tv + Out(0, 1) * rp : tv + rp);
             }
@@ -120,20 +136,49 @@ void DistFmmFft<InT>::post_slab(int r) {
       /*grain=*/16);
 }
 
+namespace detail {
+
+/// Device-resident load of slab r: same-width engines memcpy (the
+/// bit-identity path); a narrower engine demotes elementwise.
+template <typename InT, typename ER>
+void load_slab(fmm::Engine<ER>& e, const InT* src, index_t slab_n) {
+  using Real = real_of_t<InT>;
+  if constexpr (std::is_same_v<ER, Real>) {
+    std::memcpy(e.source_box(0), src, sizeof(InT) * static_cast<std::size_t>(slab_n));
+  } else {
+    constexpr index_t kC = components_v<InT>;
+    const Real* s = reinterpret_cast<const Real*>(src);
+    ER* d = e.source_box(0);
+    for (index_t i = 0; i < kC * slab_n; ++i) d[i] = ER(s[i]);
+  }
+}
+
+}  // namespace detail
+
 template <typename InT>
 void DistFmmFft<InT>::execute(const InT* in, Out* out) {
   // Auto mode keys off the per-device slab: below the floor the task
   // graph's submit/run overhead beats the compute/copy overlap it buys.
-  if (exec::resolve_mode(prm_.n / g_) == exec::Mode::Serial)
-    execute_serial(in, out);
-  else
-    execute_async(in, out);
+  const bool serial = exec::resolve_mode(prm_.n / g_) == exec::Mode::Serial;
+  if (!engines32_.empty()) {
+    if (serial)
+      execute_serial_t<float>(in, out);
+    else
+      execute_async_t<float>(in, out);
+  } else {
+    if (serial)
+      execute_serial_t<Real>(in, out);
+    else
+      execute_async_t<Real>(in, out);
+  }
 }
 
 template <typename InT>
-void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
+template <typename ER>
+void DistFmmFft<InT>::execute_serial_t(const InT* in, Out* out) {
   const index_t slab_n = prm_.n / g_;
   const int l = prm_.l(), b = prm_.b;
+  auto& es = eset<ER>();
   // Per-(stage, device) heartbeats: a stall inside one engine call is
   // attributed to that exact stage loop by the watchdog.
   obs::health::PhaseSource hb("dist.FmmFft.serial");
@@ -142,10 +187,9 @@ void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
   // S-tensor interior.
   for (int r = 0; r < g_; ++r) {
     hb.phase("load", r);
-    engines_[(std::size_t)r]->reset_stats();
-    engines_[(std::size_t)r]->zero();
-    std::memcpy(engines_[(std::size_t)r]->source_box(0), in + r * slab_n,
-                sizeof(InT) * static_cast<std::size_t>(slab_n));
+    es[(std::size_t)r]->reset_stats();
+    es[(std::size_t)r]->zero();
+    detail::load_slab(*es[(std::size_t)r], in + r * slab_n, slab_n);
   }
 
   // Algorithm 1. Stage loops run over all devices (they execute these in
@@ -155,51 +199,51 @@ void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
     FMMFFT_SPAN("FMM");
     for (int r = 0; r < g_; ++r) {
       hb.phase("s2m", r);
-      engines_[(std::size_t)r]->s2m();
+      es[(std::size_t)r]->s2m();
     }
     hb.phase("halo-s");
-    exchange_source_halos();
+    exchange_source_halos_t<ER>();
     for (int r = 0; r < g_; ++r) {
       hb.phase("s2t", r);
-      engines_[(std::size_t)r]->s2t();
+      es[(std::size_t)r]->s2t();
     }
     for (int lev = l - 1; lev >= b; --lev)
       for (int r = 0; r < g_; ++r) {
         hb.phase("m2m", r);
-        engines_[(std::size_t)r]->m2m(lev);
+        es[(std::size_t)r]->m2m(lev);
       }
     for (int lev = l; lev > b; --lev) {
       hb.phase("halo-m");
-      exchange_multipole_halos(lev);
+      exchange_multipole_halos_t<ER>(lev);
       for (int r = 0; r < g_; ++r) {
         hb.phase("m2l", r);
-        engines_[(std::size_t)r]->m2l_level(lev);
+        es[(std::size_t)r]->m2l_level(lev);
       }
     }
     hb.phase("allgather");
-    allgather_base();
+    allgather_base_t<ER>();
     for (int r = 0; r < g_; ++r) {
       hb.phase("m2l_base", r);
-      engines_[(std::size_t)r]->m2l_base();
+      es[(std::size_t)r]->m2l_base();
     }
     for (int r = 0; r < g_; ++r) {
       hb.phase("reduce", r);
-      engines_[(std::size_t)r]->reduce();
+      es[(std::size_t)r]->reduce();
     }
     for (int lev = b; lev < l; ++lev)
       for (int r = 0; r < g_; ++r) {
         hb.phase("l2l", r);
-        engines_[(std::size_t)r]->l2l(lev);
+        es[(std::size_t)r]->l2l(lev);
       }
     for (int r = 0; r < g_; ++r) {
       hb.phase("l2t", r);
-      engines_[(std::size_t)r]->l2t();
+      es[(std::size_t)r]->l2t();
     }
   }
 
   for (int r = 0; r < g_; ++r) {
     hb.phase("post", r);
-    post_slab(r);
+    post_slab_t<ER>(r);
   }
 
   // Distributed 2D FFT (one all-to-all), output in order.
@@ -218,7 +262,8 @@ void DistFmmFft<InT>::execute_serial(const InT* in, Out* out) {
 }
 
 template <typename InT>
-void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
+template <typename ER>
+void DistFmmFft<InT>::execute_async_t(const InT* in, Out* out) {
   // The native twin of dist::fmmfft_schedule: every engine stage becomes an
   // ordered task on its device's compute lane (so each engine executes
   // stages in exactly execute_serial's order — the bit-identity invariant),
@@ -227,6 +272,7 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   // overlaps both neighbouring devices' stages and in-flight copies.
   const index_t slab_n = prm_.n / g_;
   const int l = prm_.l(), b = prm_.b;
+  auto& es = eset<ER>();
   exec::DeviceLanes lanes(g_);
   exec::TaskGraph graph(lanes.count());
   graph.name_lanes(lanes);
@@ -235,49 +281,50 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   // LOAD: slab r is engine r's S interior.
   std::vector<exec::TaskId> load((std::size_t)g_);
   for (int r = 0; r < g_; ++r) {
-    auto* e = engines_[(std::size_t)r].get();
+    auto* e = es[(std::size_t)r].get();
     const InT* src = in + r * slab_n;
     load[(std::size_t)r] = graph.submit(
         dev("load", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, src, slab_n] {
           e->reset_stats();
           e->zero();
-          std::memcpy(e->source_box(0), src, sizeof(InT) * static_cast<std::size_t>(slab_n));
+          detail::load_slab(*e, src, slab_n);
         });
   }
 
   // COMM-S rides the link lanes while S2M runs: the halo boxes it writes
   // are disjoint from the interior S2M reads.
-  const index_t nb = engines_[0]->local_leaves();
-  const index_t selems = engines_[0]->source_box_elems();
+  const index_t nb = es[0]->local_leaves();
+  const index_t selems = es[0]->source_box_elems();
   std::vector<std::vector<exec::TaskId>> s_arrive((std::size_t)g_);
   for (int r = 0; r < g_; ++r) {
     const int left = (r + g_ - 1) % g_, right = (r + 1) % g_;
+    auto* el = es[(std::size_t)left].get();
+    auto* er = es[(std::size_t)r].get();
+    auto* eg = es[(std::size_t)right].get();
     s_arrive[(std::size_t)r].push_back(graph.submit(
         "comm-s " + std::to_string(left) + "->" + std::to_string(r),
         {lanes.copy(left, r), /*ordered=*/true, "sync"},
-        [this, left, r, nb, selems] {
-          fabric_.send(left, r, engines_[(std::size_t)left]->source_box(nb - 1),
-                       engines_[(std::size_t)r]->source_box(-1), selems, "COMM-S");
+        [this, el, er, left, r, nb, selems] {
+          fabric_.send(left, r, el->source_box(nb - 1), er->source_box(-1), selems, "COMM-S");
         },
         {load[(std::size_t)left]}));
     s_arrive[(std::size_t)r].push_back(graph.submit(
         "comm-s " + std::to_string(right) + "->" + std::to_string(r),
         {lanes.copy(right, r), /*ordered=*/true, "sync"},
-        [this, right, r, nb, selems] {
-          fabric_.send(right, r, engines_[(std::size_t)right]->source_box(0),
-                       engines_[(std::size_t)r]->source_box(nb), selems, "COMM-S");
+        [this, eg, er, right, r, nb, selems] {
+          fabric_.send(right, r, eg->source_box(0), er->source_box(nb), selems, "COMM-S");
         },
         {load[(std::size_t)right]}));
   }
 
   std::vector<exec::TaskId> s2m_id((std::size_t)g_);
   for (int r = 0; r < g_; ++r) {
-    auto* e = engines_[(std::size_t)r].get();
+    auto* e = es[(std::size_t)r].get();
     s2m_id[(std::size_t)r] = graph.submit(dev("s2m", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
                                           [e] { e->s2m(); });
   }
   for (int r = 0; r < g_; ++r) {
-    auto* e = engines_[(std::size_t)r].get();
+    auto* e = es[(std::size_t)r].get();
     graph.submit(dev("s2t", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e] { e->s2t(); },
                  s_arrive[(std::size_t)r]);
   }
@@ -287,7 +334,7 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   std::vector<std::vector<exec::TaskId>> m2m_at((std::size_t)g_);  // per device, level l-1..b
   for (int lev = l - 1; lev >= b; --lev)
     for (int r = 0; r < g_; ++r) {
-      auto* e = engines_[(std::size_t)r].get();
+      auto* e = es[(std::size_t)r].get();
       m2m_at[(std::size_t)r].push_back(graph.submit(
           dev("m2m-" + std::to_string(lev), r), {lanes.compute(r), /*ordered=*/true, "fmm"},
           [e, lev] { e->m2m(lev); }));
@@ -301,32 +348,35 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
 
   // COMM-M per level, then the level's M2L once both halves arrived.
   std::vector<std::vector<exec::TaskId>> m_arrive((std::size_t)g_);
-  const index_t eelems = 2 * engines_[0]->expansion_box_elems();
+  const index_t eelems = 2 * es[0]->expansion_box_elems();
   for (int lev = l; lev > b; --lev) {
     for (int r = 0; r < g_; ++r) m_arrive[(std::size_t)r].clear();
     for (int r = 0; r < g_; ++r) {
       const int left = (r + g_ - 1) % g_, right = (r + 1) % g_;
-      const index_t nbl = engines_[0]->local_boxes(lev);
+      const index_t nbl = es[0]->local_boxes(lev);
       const std::string tag = "COMM-M" + std::to_string(lev);
+      auto* el = es[(std::size_t)left].get();
+      auto* er = es[(std::size_t)r].get();
+      auto* eg = es[(std::size_t)right].get();
       m_arrive[(std::size_t)r].push_back(graph.submit(
           "comm-m" + std::to_string(lev) + " " + std::to_string(left) + "->" + std::to_string(r),
           {lanes.copy(left, r), /*ordered=*/true, "sync"},
-          [this, left, r, lev, nbl, eelems, tag] {
-            fabric_.send(left, r, engines_[(std::size_t)left]->multipole_box(lev, nbl - 2),
-                         engines_[(std::size_t)r]->multipole_box(lev, -2), eelems, tag);
+          [this, el, er, left, r, lev, nbl, eelems, tag] {
+            fabric_.send(left, r, el->multipole_box(lev, nbl - 2),
+                         er->multipole_box(lev, -2), eelems, tag);
           },
           {level_writer(left, lev)}));
       m_arrive[(std::size_t)r].push_back(graph.submit(
           "comm-m" + std::to_string(lev) + " " + std::to_string(right) + "->" + std::to_string(r),
           {lanes.copy(right, r), /*ordered=*/true, "sync"},
-          [this, right, r, lev, nbl, eelems, tag] {
-            fabric_.send(right, r, engines_[(std::size_t)right]->multipole_box(lev, 0),
-                         engines_[(std::size_t)r]->multipole_box(lev, nbl), eelems, tag);
+          [this, eg, er, right, r, lev, nbl, eelems, tag] {
+            fabric_.send(right, r, eg->multipole_box(lev, 0),
+                         er->multipole_box(lev, nbl), eelems, tag);
           },
           {level_writer(right, lev)}));
     }
     for (int r = 0; r < g_; ++r) {
-      auto* e = engines_[(std::size_t)r].get();
+      auto* e = es[(std::size_t)r].get();
       graph.submit(dev("m2l-" + std::to_string(lev), r),
                    {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, lev] { e->m2l_level(lev); },
                    m_arrive[(std::size_t)r]);
@@ -334,25 +384,24 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   }
 
   // COMM-MB allgather (self-slab is already in place), then base M2L.
-  const index_t bslab =
-      engines_[0]->local_boxes(b) * engines_[0]->expansion_box_elems();
+  const index_t bslab = es[0]->local_boxes(b) * es[0]->expansion_box_elems();
   std::vector<std::vector<exec::TaskId>> g_arrive((std::size_t)g_);
   for (int r = 0; r < g_; ++r)
     for (int rr = 0; rr < g_; ++rr) {
       if (r == rr) continue;
+      auto* esrc = es[(std::size_t)r].get();
+      auto* edst = es[(std::size_t)rr].get();
       g_arrive[(std::size_t)rr].push_back(graph.submit(
           "comm-mb " + std::to_string(r) + "->" + std::to_string(rr),
           {lanes.copy(r, rr), /*ordered=*/true, "sync"},
-          [this, r, rr, bslab] {
-            auto* es = engines_[(std::size_t)r].get();
-            auto* ed = engines_[(std::size_t)rr].get();
-            fabric_.send(r, rr, es->multipole_box(prm_.b, es->box_offset(prm_.b)),
-                         ed->multipole_box(prm_.b, 0) + r * bslab, bslab, "COMM-MB");
+          [this, esrc, edst, r, rr, bslab] {
+            fabric_.send(r, rr, esrc->multipole_box(prm_.b, esrc->box_offset(prm_.b)),
+                         edst->multipole_box(prm_.b, 0) + r * bslab, bslab, "COMM-MB");
           },
           {level_writer(r, b)}));
     }
   for (int r = 0; r < g_; ++r) {
-    auto* e = engines_[(std::size_t)r].get();
+    auto* e = es[(std::size_t)r].get();
     graph.submit(dev("m2l-b", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
                  [e] { e->m2l_base(); }, g_arrive[(std::size_t)r]);
     graph.submit(dev("reduce", r), {lanes.compute(r), /*ordered=*/true, "fmm"},
@@ -360,16 +409,16 @@ void DistFmmFft<InT>::execute_async(const InT* in, Out* out) {
   }
   for (int lev = b; lev < l; ++lev)
     for (int r = 0; r < g_; ++r) {
-      auto* e = engines_[(std::size_t)r].get();
+      auto* e = es[(std::size_t)r].get();
       graph.submit(dev("l2l-" + std::to_string(lev), r),
                    {lanes.compute(r), /*ordered=*/true, "fmm"}, [e, lev] { e->l2l(lev); });
     }
   std::vector<exec::TaskId> post((std::size_t)g_);
   for (int r = 0; r < g_; ++r) {
-    auto* e = engines_[(std::size_t)r].get();
+    auto* e = es[(std::size_t)r].get();
     graph.submit(dev("l2t", r), {lanes.compute(r), /*ordered=*/true, "fmm"}, [e] { e->l2t(); });
     post[(std::size_t)r] = graph.submit(dev("post", r), {lanes.compute(r), /*ordered=*/true, "post"},
-                                        [this, r] { post_slab(r); });
+                                        [this, r] { post_slab_t<ER>(r); });
   }
 
   // Distributed 2D FFT rides the same graph; each device's slab store waits

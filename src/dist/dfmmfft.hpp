@@ -10,6 +10,7 @@
 
 #include <complex>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,6 +18,7 @@
 #include "dist/dfft.hpp"
 #include "fmm/engine.hpp"
 #include "fmm/params.hpp"
+#include "fmm/precision.hpp"
 #include "sim/fabric.hpp"
 
 namespace fmmfft::dist {
@@ -27,10 +29,15 @@ class DistFmmFft {
   using Real = real_of_t<InT>;
   using Out = std::complex<Real>;
 
-  DistFmmFft(const fmm::Params& prm, int g);
+  /// `prec` as in core::FmmFft: Mixed runs every engine (and with it the
+  /// COMM-S/COMM-Mℓ/COMM-MB payloads) in fp32 under an fp64 shell; the 2D
+  /// FFT, its all-to-all and the output stay at the shell width.
+  DistFmmFft(const fmm::Params& prm, int g,
+             fmm::Precision prec = fmm::default_precision());
 
   const fmm::Params& params() const { return prm_; }
   int num_devices() const { return g_; }
+  fmm::Precision precision() const { return prec_; }
 
   /// Host-staged execute: out = F_N · in, both length N. Driver choice via
   /// exec::resolve_mode on the per-device slab size (N/G): explicit
@@ -45,24 +52,43 @@ class DistFmmFft {
 
   /// Stats of device `r`'s engine for the most recent execute().
   const std::vector<fmm::StageStats>& engine_stats(int r) const {
-    return engines_[(std::size_t)r]->stats();
+    return engines32_.empty() ? engines_[(std::size_t)r]->stats()
+                              : engines32_[(std::size_t)r]->stats();
   }
 
  private:
-  void execute_serial(const InT* in, Out* out);
-  void execute_async(const InT* in, Out* out);
+  // The whole FMM side is templated on the engine real ER: Real for the
+  // plain pipeline, float for Mixed-under-fp64. The shell (slabs, 2D FFT,
+  // output) is always Real.
+  template <typename ER>
+  std::vector<std::unique_ptr<fmm::Engine<ER>>>& eset() {
+    if constexpr (std::is_same_v<ER, Real>)
+      return engines_;
+    else
+      return engines32_;
+  }
+  template <typename ER>
+  void execute_serial_t(const InT* in, Out* out);
+  template <typename ER>
+  void execute_async_t(const InT* in, Out* out);
   /// POST for device r (§4.9 line 15): one pass from the engine's T tensor
-  /// into the 2D-FFT slab.
-  void post_slab(int r);
-  void exchange_source_halos();
-  void exchange_multipole_halos(int level);
-  void allgather_base();
+  /// into the 2D-FFT slab, widening to the shell precision on load.
+  template <typename ER>
+  void post_slab_t(int r);
+  template <typename ER>
+  void exchange_source_halos_t();
+  template <typename ER>
+  void exchange_multipole_halos_t(int level);
+  template <typename ER>
+  void allgather_base_t();
 
   fmm::Params prm_;
   int g_;
   int c_;
+  fmm::Precision prec_;
   sim::Fabric fabric_;
   std::vector<std::unique_ptr<fmm::Engine<Real>>> engines_;
+  std::vector<std::unique_ptr<fmm::Engine<float>>> engines32_;  // Mixed only
   Dist2dFft<Real> fft2d_;
   std::vector<Buffer<Out>> slabs_;  // post-processed data fed to the 2D FFT
   std::vector<Out> rho_;

@@ -16,6 +16,7 @@
 #include "common/math.hpp"
 #include "common/types.hpp"
 #include "fmm/params.hpp"
+#include "fmm/precision.hpp"
 
 namespace fmmfft::fmm {
 
@@ -33,9 +34,24 @@ inline double predict_rel_error(int q) {
 /// (§6.1: the paper's reported runs achieve < 4e-7 single / < 2e-14 double.)
 inline double error_floor(bool is_double) { return is_double ? 2e-14 : 4e-7; }
 
+/// Floor under a precision policy: mixed mode computes every translation in
+/// fp32, so its floor is the fp32 one regardless of the shell width. The
+/// paper's single-precision bound carries over because the shell (FFT
+/// stages, POST accumulation) contributes at worst fp32-rounding-level
+/// noise on top of the fp32 translations — and in mixed mode the shell is
+/// fp64, strictly tighter than the all-fp32 runs the bound was measured on.
+inline double error_floor(bool is_double, Precision prec) {
+  return error_floor(is_double && prec == Precision::Fp64);
+}
+
 /// Predicted error including the floor.
 inline double predict_rel_error(int q, bool is_double) {
   return std::max(predict_rel_error(q), error_floor(is_double));
+}
+
+/// Predicted error under a precision policy.
+inline double predict_rel_error(int q, bool is_double, Precision prec) {
+  return std::max(predict_rel_error(q), error_floor(is_double, prec));
 }
 
 /// Smallest Q whose predicted error is below eps (clamped to [2, 24]).
@@ -45,11 +61,26 @@ inline int min_q_for(double eps) {
   return 24;
 }
 
+/// Smallest useful Q for eps under a precision policy: ranks whose
+/// geometric term sits below the rounding floor buy no accuracy, so the
+/// target is clamped to the floor first. This is the knob model/tuning and
+/// suggest_params turn when a tolerance, not a rank, is requested —
+/// e.g. eps = 1e-12 needs Q = 17 in fp64 but saturates at Q = 10 in mixed.
+inline int min_q_for(double eps, bool is_double, Precision prec) {
+  return min_q_for(std::max(eps, error_floor(is_double, prec)));
+}
+
 /// Convenience: parameters for a transform of size n meeting a target
 /// accuracy, using the paper's preferred large-N shape (M_L = 64, B = 3
 /// where admissible, P chosen to keep M = N/P >= M_L·2^B).
-inline Params suggest_params(index_t n, double eps, index_t g = 1) {
-  const int q = min_q_for(eps);
+inline Params suggest_params(index_t n, double eps, index_t g = 1,
+                             Precision prec = Precision::Fp64, bool is_double = true) {
+  // The fp64/double default keeps the historical un-clamped rank choice
+  // (plans must stay identical to pre-mixed-mode builds); the narrower
+  // pipelines clamp eps to their rounding floor so Q never pays for
+  // accuracy the translation width cannot deliver.
+  const int q = (prec == Precision::Fp64 && is_double) ? min_q_for(eps)
+                                                       : min_q_for(eps, is_double, prec);
   for (index_t ml : {64, 32, 16, 8, 4, 2, 1}) {
     for (index_t p = std::max<index_t>(32, g); p <= n / 2; p *= 2) {
       for (int b : {3, 2}) {

@@ -42,16 +42,24 @@ std::string traffic_scope(const std::string& name) {
 /// Halo-fill copies are tracked separately so fmm.flops / fmm.mem_bytes /
 /// fmm.launches stay launch-for-launch comparable with
 /// model::exact_fmm_counts (which has no Copy entries).
-void count_stage(const StageStats& st) {
+///
+/// `f32` engines (the native fp32 shell, and the mixed-precision
+/// translation pipeline under an fp64 shell) append ".f32" to their ledger
+/// scopes: the bytes in one scope are then always at one element width, so
+/// the §5 cross-check and the per-precision traffic reports stay exact
+/// when two widths coexist in a run. Prefix sums ("fmm.") aggregate both.
+void count_stage(const StageStats& st, bool f32) {
   if (obs::traffic_enabled()) {
+    const char* suffix = f32 ? ".f32" : "";
     // Copy stages go to halo.cyclic (payload read once, written once) so
     // the fmm.* scopes stay compute-only, matching exact_fmm_counts.
     if (st.kernel == KernelClass::Copy) {
-      obs::TrafficLedger::global().add_rw("halo.cyclic", st.mem_bytes, st.mem_bytes, 0.0);
+      obs::TrafficLedger::global().add_rw(std::string("halo.cyclic") + suffix, st.mem_bytes,
+                                          st.mem_bytes, 0.0);
     } else {
       double rd = st.bytes_read, wr = st.bytes_written;
       if (rd == 0 && wr == 0) rd = wr = st.mem_bytes / 2;
-      obs::TrafficLedger::global().add_rw(traffic_scope(st.name), rd, wr, st.flops);
+      obs::TrafficLedger::global().add_rw(traffic_scope(st.name) + suffix, rd, wr, st.flops);
     }
   }
   if (!obs::metrics_enabled()) return;
@@ -139,7 +147,7 @@ void Engine<T>::record_stage(StageStats st, double seconds, double bytes_read,
   st.seconds = seconds;
   st.bytes_read = bytes_read;
   st.bytes_written = bytes_written;
-  count_stage(st);
+  count_stage(st, sizeof(T) == 4);
   std::lock_guard<std::mutex> lk(stats_mu_);
   stats_.push_back(std::move(st));
 }

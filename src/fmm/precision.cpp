@@ -1,0 +1,18 @@
+#include "fmm/precision.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/env.hpp"
+
+namespace fmmfft::fmm {
+
+Precision default_precision() {
+  const char* v = obs::env::get("FMMFFT_PRECISION");
+  if (!v || !*v || std::strcmp(v, "fp64") == 0) return Precision::Fp64;
+  if (std::strcmp(v, "mixed") == 0) return Precision::Mixed;
+  FMMFFT_CHECK_MSG(false, "FMMFFT_PRECISION must be fp64 or mixed, got \"" << v << "\"");
+  return Precision::Fp64;
+}
+
+}  // namespace fmmfft::fmm

@@ -1,0 +1,43 @@
+// Precision policy for the FMM translation pipeline.
+//
+// The FMM-FFT's accuracy is set a priori by the truncation rank Q
+// (fmm/accuracy.hpp), not by the width of the words the translations are
+// computed in — once Q's geometric error term sits above the working
+// precision's rounding floor, fp32 translations are as accurate as fp64
+// ones and move half the bytes. Mixed mode exploits exactly that: the
+// Chebyshev operators (S2M/M2M/S2T/M2L/L2L) are built, stored, and applied
+// in fp32 — halving the operator-LRU footprint, the M2L slab traffic, and
+// the multipole/source halo payloads on the fabric — while the transform's
+// shell (input load, POST accumulation, both 2D-FFT stages, the output)
+// stays in the input's native precision. Conversions happen exactly twice,
+// at the engine's stage boundaries: input -> S tensor on load, T tensor ->
+// POST accumulation on the way out.
+//
+// Fp64 (the default) is the pre-existing pipeline, bit for bit: the engine
+// runs in the shell precision and no conversion happens anywhere.
+#pragma once
+
+namespace fmmfft::fmm {
+
+enum class Precision {
+  Fp64,   ///< translations in the shell's native width (default)
+  Mixed,  ///< fp32 translations under an fp64 shell
+};
+
+inline const char* to_string(Precision p) {
+  return p == Precision::Mixed ? "mixed" : "fp64";
+}
+
+/// Process default from FMMFFT_PRECISION ("fp64" or unset -> Fp64,
+/// "mixed" -> Mixed; anything else is a hard error). Read per call so
+/// tests can flip the knob between plan constructions.
+Precision default_precision();
+
+/// Byte width of the translation-pipeline scalar for a shell whose real
+/// scalar is `shell_real_bytes` wide. Mixed collapses to the native fp32
+/// pipeline under an fp32 shell, so the width never exceeds the shell's.
+inline double translation_real_bytes(Precision prec, double shell_real_bytes) {
+  return prec == Precision::Mixed ? 4.0 : shell_real_bytes;
+}
+
+}  // namespace fmmfft::fmm

@@ -60,11 +60,14 @@ void ModelReport::write_json(std::ostream& os) const {
 }
 
 ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g,
-                               double real_bytes, int runs) {
+                               double real_bytes, int runs, double trans_bytes) {
   // Summation-noise tolerance for counts that must agree exactly.
   constexpr double kExact = 1e-9;
   const auto& m = Metrics::global();
   const double r = double(runs), gd = double(g);
+  // Translation-pipeline width (FMM stages, halo payloads); the shell
+  // (A2A, FFT, POST output) stays at real_bytes.
+  const double tb = trans_bytes > 0 ? trans_bytes : real_bytes;
 
   double flops = 0, mem_scalars = 0, launches = 0;
   for (const auto& st : model::exact_fmm_counts(prm, components, g)) {
@@ -78,7 +81,7 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
   rep.checks.push_back(
       {"fmm.flops", counter("fmm.flops"), r * gd * flops, kExact});
   rep.checks.push_back(
-      {"fmm.mem_bytes", counter("fmm.mem_bytes"), r * gd * mem_scalars * real_bytes, kExact});
+      {"fmm.mem_bytes", counter("fmm.mem_bytes"), r * gd * mem_scalars * tb, kExact});
   rep.checks.push_back(
       {"fmm.launches", counter("fmm.launches"), r * gd * launches, 0.0});
 
@@ -94,9 +97,9 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
   const double comm_mb = counter("fabric.bytes.COMM-MB");
   const double comm_ml = counter("fabric.bytes.COMM-M") - comm_mb;
   const double a2a = counter("fabric.bytes.A2A-2D");
-  rep.checks.push_back({"fabric.COMM-S", comm_s, r * gd * exact.s_halo * real_bytes, kExact});
-  rep.checks.push_back({"fabric.COMM-Ml", comm_ml, r * gd * exact.m_halo * real_bytes, kExact});
-  rep.checks.push_back({"fabric.COMM-MB", comm_mb, r * gd * exact.m_base * real_bytes, kExact});
+  rep.checks.push_back({"fabric.COMM-S", comm_s, r * gd * exact.s_halo * tb, kExact});
+  rep.checks.push_back({"fabric.COMM-Ml", comm_ml, r * gd * exact.m_halo * tb, kExact});
+  rep.checks.push_back({"fabric.COMM-MB", comm_mb, r * gd * exact.m_base * tb, kExact});
   rep.checks.push_back({"fabric.A2A-2D", a2a,
                         g > 1 ? r * (gd - 1.0) / gd * n * 2.0 * real_bytes : 0.0, kExact});
 
@@ -104,20 +107,21 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
   // conventions: the source halo ships the p = 0 slice too (factor
   // P/(P-1)) and the allgather's local slab is free (factor (G-1)/G).
   const auto paper = model::paper_fmm_comm(prm, components, g);
-  rep.checks.push_back({"paper.s_halo", comm_s, r * gd * paper.s_halo * real_bytes,
+  rep.checks.push_back({"paper.s_halo", comm_s, r * gd * paper.s_halo * tb,
                         1.0 / double(prm.p - 1) + 1e-6});
-  rep.checks.push_back({"paper.m_halo", comm_ml, r * gd * paper.m_halo * real_bytes, kExact});
-  rep.checks.push_back({"paper.m_base", comm_mb, r * gd * paper.m_base * real_bytes,
+  rep.checks.push_back({"paper.m_halo", comm_ml, r * gd * paper.m_halo * tb, kExact});
+  rep.checks.push_back({"paper.m_base", comm_mb, r * gd * paper.m_base * tb,
                         g > 1 ? 1.0 / gd + 1e-6 : 0.0});
   return rep;
 }
 
 ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
-                                       double real_bytes, int runs) {
+                                       double real_bytes, int runs, double trans_bytes) {
   constexpr double kExact = 1e-9;
   const auto snap = TrafficLedger::global().snapshot();
   const double r = double(runs), gd = double(g);
   const double n = double(prm.n);
+  const double tb = trans_bytes > 0 ? trans_bytes : real_bytes;
 
   // Sum a field over all ledger scopes with the given name prefix.
   enum Field { kComm, kRw, kFlops };
@@ -144,16 +148,16 @@ ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, i
   const auto exact = model::exact_fmm_comm(prm, components, g);
   const double comm_mb = sum("comm.COMM-MB", kComm);
   rep.checks.push_back({"traffic.comm_s", sum("comm.COMM-S", kComm),
-                        r * gd * exact.s_halo * real_bytes, kExact});
+                        r * gd * exact.s_halo * tb, kExact});
   rep.checks.push_back({"traffic.comm_ml", sum("comm.COMM-M", kComm) - comm_mb,
-                        r * gd * exact.m_halo * real_bytes, kExact});
+                        r * gd * exact.m_halo * tb, kExact});
   rep.checks.push_back(
-      {"traffic.comm_mb", comm_mb, r * gd * exact.m_base * real_bytes, kExact});
+      {"traffic.comm_mb", comm_mb, r * gd * exact.m_base * tb, kExact});
 
   // FMM kernel traffic: the fmm.* scopes are compute-only (halo copies go
   // to halo.cyclic), so read+written matches the model's mem_scalars.
   rep.checks.push_back({"traffic.fmm_bytes", sum("fmm.", kRw),
-                        r * gd * mem_scalars * real_bytes, kExact});
+                        r * gd * mem_scalars * tb, kExact});
   rep.checks.push_back({"traffic.fmm_flops", sum("fmm.", kFlops), r * gd * flops, kExact});
 
   // 2D-FFT stage data passes: summed over devices, M size-P rows plus P
@@ -168,10 +172,11 @@ ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, i
                           r * 2.0 * passes * n * 2.0 * real_bytes, kExact});
   }
 
-  // POST sweep (fused shape): reads the C-component T tensor once, writes
-  // the complex FFT input once.
+  // POST sweep (fused shape): reads the C-component T tensor once at the
+  // translation width, writes the complex FFT input once at the shell
+  // width (identical when the widths agree).
   rep.checks.push_back({"traffic.post_bytes", sum("post", kRw),
-                        r * (double(components) + 2.0) * n * real_bytes, kExact});
+                        r * n * (double(components) * tb + 2.0 * real_bytes), kExact});
   return rep;
 }
 

@@ -43,6 +43,13 @@ struct ModelReport {
 /// metrics collected with obs::enable_metrics() on and no other transforms
 /// in between (obs::reset() gives a clean slate).
 ///
+/// `trans_bytes` is the byte width of the FMM translation pipeline's real
+/// scalar when it differs from the shell's (mixed precision: 4 under an
+/// 8-byte shell). 0 — the default — means "same as real_bytes". The FMM
+/// stage bytes and the COMM-* halo payloads are predicted at trans_bytes;
+/// the A2A payload, FFT and POST volumes at real_bytes. The per-precision
+/// ".f32" key suffixes the hooks emit are prefix-summed transparently.
+///
 /// Checked, each against an exact accounting (tolerance ~1e-9, pure
 /// floating-point summation noise):
 ///  * fmm.flops / fmm.mem_bytes / fmm.launches vs model::exact_fmm_counts
@@ -53,19 +60,23 @@ struct ModelReport {
 /// documented loose tolerance (the p = 0 slice and local-slab conventions
 /// differ; see model::exact_fmm_comm).
 ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g,
-                               double real_bytes, int runs = 1);
+                               double real_bytes, int runs = 1, double trans_bytes = 0);
 
 /// Compare TrafficLedger::global() against the §5 model for `runs`
 /// distributed FMM-FFT executions (any G >= 1, serial or async executor —
 /// the ledger records algorithmic traffic, so the totals are identical).
 /// Requires traffic collected with obs::enable_traffic() on and a clean
-/// ledger (obs::reset()). All checks are exact (~1e-9):
+/// ledger (obs::reset()). `trans_bytes` as in compare_with_model.
+/// All checks are exact (~1e-9):
 ///  * comm.A2A-2D payload vs the (G-1)/G·N single-transpose volume
 ///  * comm.COMM-S / COMM-M* / COMM-MB vs model::exact_fmm_comm
 ///  * fmm.* bytes (read+written) and flops vs model::exact_fmm_counts
 ///  * fft bytes vs the Stockham pass count of the 2D stage (pow2 P, M)
-///  * post bytes vs the (C+2)·N single-sweep volume (fused post shape)
+///  * post bytes vs the single-sweep volume: the C-component T tensor read
+///    at the translation width plus the complex FFT input written at the
+///    shell width
 ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
-                                       double real_bytes, int runs = 1);
+                                       double real_bytes, int runs = 1,
+                                       double trans_bytes = 0);
 
 }  // namespace fmmfft::obs

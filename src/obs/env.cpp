@@ -20,6 +20,9 @@ const std::vector<Knob>& registry() {
        "host thread-pool size (default: all hardware threads)"},
       {"FMMFFT_EXEC", "enum", "auto",
        "distributed driver mode: serial | async | auto (work-floor heuristic)"},
+      {"FMMFFT_PRECISION", "enum", "fp64",
+       "FMM translation precision: fp64 | mixed (fp32 operators, kernels and "
+       "comm payloads under an fp64 shell)"},
       {"FMMFFT_EXEC_FLOOR", "int", "65536",
        "per-device element floor below which auto resolves to serial"},
       {"FMMFFT_FLIGHT", "flag", "0",

@@ -32,14 +32,21 @@ class Fabric {
   };
 
   /// Move `count` elements from device `src` to device `dst`. Self-copies
-  /// are local and not recorded as traffic.
+  /// are local and not recorded as traffic. Payloads whose real component
+  /// is 4 bytes wide (fp32 shells, and the mixed-precision multipole/source
+  /// halos under an fp64 shell) land under ".f32"-suffixed metric/traffic
+  /// keys, so every key holds bytes at exactly one element width and the
+  /// §5 cross-check stays exact when widths coexist in one run. The span
+  /// and the Transfer ledger keep the plain tag (message identity, not
+  /// width, is what they attribute).
   template <typename T>
   void send(int src, int dst, const T* s, T* d, index_t count, const std::string& tag) {
     FMMFFT_CHECK(src >= 0 && src < g_ && dst >= 0 && dst < g_);
     if (count == 0) return;
     FMMFFT_SPAN("xfer:", tag);
     std::memmove(d, s, sizeof(T) * static_cast<std::size_t>(count));
-    account(src, dst, double(sizeof(T)) * double(count), tag);
+    account(src, dst, double(sizeof(T)) * double(count), tag,
+            sizeof(real_of_t<T>) == 4);
   }
 
   /// Account a transfer whose payload already moved zero-copy (the fused
@@ -47,15 +54,17 @@ class Fabric {
   /// there is no contiguous message to memmove). Ledger entries, metrics
   /// and traffic-ledger comm bytes are identical to send()'s; self-pairs
   /// are local placement and not recorded, like self send()s.
-  void record(int src, int dst, double bytes, const std::string& tag) {
+  /// `f32_payload` keys the bytes per element width like send() does.
+  void record(int src, int dst, double bytes, const std::string& tag,
+              bool f32_payload = false) {
     FMMFFT_CHECK(src >= 0 && src < g_ && dst >= 0 && dst < g_);
     if (src == dst || bytes <= 0) return;
     FMMFFT_SPAN("xfer:", tag);
-    account(src, dst, bytes, tag);
+    account(src, dst, bytes, tag, f32_payload);
   }
 
  private:
-  void account(int src, int dst, double bytes, const std::string& tag) {
+  void account(int src, int dst, double bytes, const std::string& tag, bool f32) {
     if (src == dst || bytes <= 0) return;
     {
       // The async executor issues copies from concurrent tasks; the ledger
@@ -68,11 +77,14 @@ class Fabric {
     FMMFFT_COUNT("fabric.bytes", bytes);
     // Per-tag byte counters feed obs::compare_with_model; the name is
     // dynamic, so this bypasses the static-reference macro. The traffic
-    // ledger mirrors the same convention: payload bytes, off-device only.
+    // ledger mirrors the same convention: payload bytes, off-device only,
+    // one element width per key.
+    if (!obs::metrics_enabled() && !obs::traffic_enabled()) return;
+    const std::string key = f32 ? tag + ".f32" : tag;
     if (obs::metrics_enabled())
-      obs::Metrics::global().counter("fabric.bytes." + tag).add(bytes);
+      obs::Metrics::global().counter("fabric.bytes." + key).add(bytes);
     if (obs::traffic_enabled())
-      obs::TrafficLedger::global().add_comm("comm." + tag, bytes);
+      obs::TrafficLedger::global().add_comm("comm." + key, bytes);
   }
 
  public:

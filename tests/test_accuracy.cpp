@@ -4,6 +4,7 @@
 // plans meeting requested accuracies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <complex>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/rng.hpp"
 #include "core/fmmfft.hpp"
 #include "core/reference.hpp"
+#include "dist/dfmmfft.hpp"
 #include "fmm/accuracy.hpp"
 
 namespace fmmfft::fmm {
@@ -48,22 +50,100 @@ TEST(ErrorModel, EnvelopeBoundsMeasuredError) {
     std::vector<Cd> got(x.size());
     plan.execute(x.data(), got.data());
     const double err = rel_l2_error(got.data(), ref.data(), n);
-    EXPECT_LT(err, predict_rel_error(qq, true)) << "Q=" << qq;
+    // The plan honors the ambient FMMFFT_PRECISION, so bound against the
+    // envelope of the active policy (CI runs a mixed leg of the suite).
+    EXPECT_LT(err, predict_rel_error(qq, true, default_precision())) << "Q=" << qq;
+  }
+}
+
+TEST(ErrorModel, MixedFloorAndMinQ) {
+  // Mixed inherits the fp32 floor no matter how wide the shell is, and the
+  // fp64 default is untouched by the precision-aware overloads.
+  EXPECT_EQ(error_floor(true, Precision::Mixed), error_floor(false));
+  EXPECT_EQ(error_floor(true, Precision::Fp64), error_floor(true));
+  EXPECT_EQ(predict_rel_error(20, true, Precision::Mixed),
+            std::max(predict_rel_error(20), error_floor(false)));
+  EXPECT_EQ(predict_rel_error(20, true, Precision::Fp64), predict_rel_error(20, true));
+  // Targets below the fp32 floor clamp Q instead of wasting terms the
+  // narrow pipeline cannot convert into accuracy.
+  EXPECT_LT(min_q_for(1e-12, true, Precision::Mixed), min_q_for(1e-12));
+  EXPECT_EQ(min_q_for(1e-12, true, Precision::Mixed), min_q_for(error_floor(false)));
+}
+
+TEST(ErrorModel, EnvelopeBoundsMeasuredErrorMixed) {
+  // The mixed envelope (geometric term clamped at the fp32 floor) must
+  // bound the measured error of the fp32-translation pipeline for all Q.
+  const index_t n = 1 << 14;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), ref(x.size());
+  fill_uniform(x.data(), n, 99);
+  core::exact_fft(n, x.data(), ref.data());
+  for (int qq = 3; qq <= 20; ++qq) {
+    Params prm{n, 64, 8, 3, qq};
+    core::FmmFft<Cd> plan(prm, /*fuse_post=*/true, Precision::Mixed);
+    std::vector<Cd> got(x.size());
+    plan.execute(x.data(), got.data());
+    const double err = rel_l2_error(got.data(), ref.data(), n);
+    EXPECT_LT(err, predict_rel_error(qq, true, Precision::Mixed)) << "Q=" << qq;
+  }
+}
+
+TEST(ErrorModel, MixedEnvelopeBoundsCanonicalShapes) {
+  // Feasible-N analogues of the four canonical bench configs (Fig. 2/3/5
+  // all run Q=16): same Q and device counts, trees scaled to n = 2^16.
+  // Measured mixed error must sit inside the predicted mixed envelope.
+  struct Shape { index_t p, ml; int b, g; };
+  const Shape shapes[] = {
+      {128, 16, 3, 2},  // 2xP100 fig2 analogue
+      {64, 8, 3, 2},    // 2xK40c analogue
+      {256, 32, 3, 8},  // 8xP100 large-N analogue
+      {128, 8, 4, 8},   // 8xP100 small-N analogue
+  };
+  const index_t n = 1 << 16;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), ref(x.size());
+  fill_uniform(x.data(), n, 2027);
+  core::exact_fft(n, x.data(), ref.data());
+  const double envelope = predict_rel_error(16, true, Precision::Mixed);
+  for (const auto& s : shapes) {
+    Params prm{n, s.p, s.ml, s.b, 16};
+    prm.validate_distributed(s.g);
+    dist::DistFmmFft<Cd> plan(prm, s.g, Precision::Mixed);
+    std::vector<Cd> got(x.size());
+    plan.execute(x.data(), got.data());
+    const double err = rel_l2_error(got.data(), ref.data(), n);
+    EXPECT_LT(err, envelope) << "P=" << s.p << " G=" << s.g;
   }
 }
 
 TEST(ErrorModel, SuggestParamsMeetsTarget) {
+  // Suggest for the ambient precision policy (CI runs a mixed leg): the
+  // run must land under the target, or under the clamped envelope when
+  // the target sits below the active policy's floor.
+  const Precision prec = default_precision();
   for (double eps : {1e-4, 1e-8, 1e-13}) {
     const index_t n = 1 << 14;
-    Params prm = suggest_params(n, eps);
+    Params prm = suggest_params(n, eps, 1, prec);
     EXPECT_TRUE(prm.is_admissible(1));
     std::vector<Cd> x(static_cast<std::size_t>(n)), got(x.size()), ref(x.size());
     fill_uniform(x.data(), n, 7);
     core::exact_fft(n, x.data(), ref.data());
     core::FmmFft<Cd> plan(prm);
     plan.execute(x.data(), got.data());
-    EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), eps) << "eps=" << eps;
+    const double bound = std::max(eps, predict_rel_error(prm.q, true, prec));
+    EXPECT_LT(rel_l2_error(got.data(), ref.data(), n), bound) << "eps=" << eps;
   }
+}
+
+TEST(ErrorModel, SuggestParamsMixedClampsQ) {
+  // A deep-accuracy target under Mixed clamps Q at the fp32 floor; the
+  // precision-defaulted call keeps the legacy fp64 plan bit-for-bit.
+  const index_t n = 1 << 14;
+  const Params legacy = suggest_params(n, 1e-12);
+  const Params mixed = suggest_params(n, 1e-12, 1, Precision::Mixed);
+  EXPECT_EQ(legacy.q, min_q_for(1e-12));
+  EXPECT_EQ(mixed.q, min_q_for(error_floor(false)));
+  EXPECT_LT(mixed.q, legacy.q);
+  // Targets above the floor are unaffected by the precision.
+  EXPECT_EQ(suggest_params(n, 1e-4, 1, Precision::Mixed).q, suggest_params(n, 1e-4).q);
 }
 
 TEST(ErrorModel, SuggestParamsRespectsDeviceCount) {

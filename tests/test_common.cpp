@@ -203,6 +203,49 @@ TEST(Permute, TransposeExhaustiveShapesComplex) {
   }
 }
 
+TEST(Permute, TransposeExhaustiveShapesF32) {
+  // fp32 doubles the tile side vs fp64 under the same budget — cover the
+  // width the mixed-precision FMM pipeline moves, sub-tile to straddling.
+  for (index_t r : {1, 7, 33, 64, 129}) {
+    for (index_t c : {3, 32, 65, 128}) {
+      std::vector<float> x(std::size_t(r * c));
+      fill_uniform(x.data(), r * c, std::uint64_t(2 * r + c));
+      const auto want = transpose_oracle(x, r, c);
+      std::vector<float> y(x.size(), -1.0f), yref(x.size(), -2.0f);
+      transpose_blocked(x.data(), y.data(), r, c);
+      transpose_blocked_ref(x.data(), yref.data(), r, c);
+      EXPECT_EQ(y, want) << "blocked f32 " << r << "x" << c;
+      EXPECT_EQ(yref, want) << "ref f32 " << r << "x" << c;
+    }
+  }
+}
+
+TEST(Permute, TransposeInplaceAndStridedC32) {
+  // c32 shares fp64's 8-byte element budget; check the in-place square
+  // path and the strided fused-A2A kernel at that width.
+  using Cx = std::complex<float>;
+  for (index_t n : {1, 31, 32, 33, 100}) {
+    std::vector<Cx> x(std::size_t(n * n));
+    fill_uniform(x.data(), n * n, std::uint64_t(n + 1));
+    std::vector<Cx> want(x.size());
+    transpose_blocked(x.data(), want.data(), n, n);
+    std::vector<Cx> y = x;
+    transpose_inplace(y.data(), n);
+    EXPECT_EQ(y, want) << "n=" << n;
+    transpose_inplace(y.data(), n);
+    EXPECT_EQ(y, x) << "round trip n=" << n;
+  }
+  const index_t ldx = 21, ldy = 17, nr = 12, nc = 15;
+  std::vector<Cx> x(std::size_t(ldx * nc));
+  fill_uniform(x.data(), ldx * nc, 11);
+  std::vector<Cx> y(std::size_t(ldy * nr), Cx(0)), want(y.size(), Cx(0));
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < nr; ++i)
+      want[(std::size_t)(j + i * ldy)] = x[(std::size_t)(i + j * ldx)];
+  detail::transpose_strided_serial(x.data(), ldx, y.data(), ldy, nr, nc);
+  EXPECT_EQ(y, want);
+}
+
 TEST(Permute, TransposeInplaceMatchesOutOfPlace) {
   // Square in-place vs out-of-place across sub-tile, tile-exact, straddling
   // and prime sides; a double round trip restores the input.

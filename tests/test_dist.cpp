@@ -16,12 +16,18 @@
 #include "dist/collectives.hpp"
 #include "dist/dfft.hpp"
 #include "dist/dfmmfft.hpp"
+#include "exec/executor.hpp"
 #include "model/counts.hpp"
 
 namespace fmmfft::dist {
 namespace {
 
 using Cd = std::complex<double>;
+
+// CI runs one leg of the suite under FMMFFT_PRECISION=mixed; plans built
+// with the ambient default then carry the fp32 translation envelope and
+// ship ".f32"-keyed halo payloads at half width.
+bool ambient_mixed() { return fmm::default_precision() == fmm::Precision::Mixed; }
 
 TEST(Collectives, AllToAllMatchesPermuteMP) {
   const index_t m = 16, p = 8;
@@ -216,12 +222,12 @@ TEST_P(DistFmmFftGrid, MatchesExactFftAndSingleNode) {
   dplan.execute(x.data(), got.data());
 
   core::exact_fft(c.n, x.data(), expect.data());
-  EXPECT_LT(rel_l2_error(got.data(), expect.data(), c.n), 2e-14)
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), c.n), ambient_mixed() ? 4e-7 : 2e-14)
       << prm.to_string() << " g=" << c.g;
 
   core::FmmFft<Cd> splan(prm);
   splan.execute(x.data(), single.data());
-  EXPECT_LT(rel_l2_error(got.data(), single.data(), c.n), 1e-14)
+  EXPECT_LT(rel_l2_error(got.data(), single.data(), c.n), ambient_mixed() ? 1e-7 : 1e-14)
       << "distributed vs single-node, g=" << c.g;
 }
 
@@ -233,6 +239,43 @@ INSTANTIATE_TEST_SUITE_P(Grid, DistFmmFftGrid,
                                            DistCase{1 << 16, 256, 8, 3, 18, 4},
                                            DistCase{1 << 14, 64, 8, 2, 18, 1}));
 
+TEST(DistFmmFft, MixedMatchesExactAndSingleNodeMixed) {
+  // Mixed across devices: fp32 engines and fp32 halo payloads under the
+  // fp64 shell must stay inside the single-precision bound and agree with
+  // the single-node mixed pipeline to fp32 roundoff.
+  fmm::Params prm{1 << 14, 64, 8, 2, 14};
+  std::vector<Cd> x(static_cast<std::size_t>(prm.n)), got(x.size()), expect(x.size()),
+      single(x.size());
+  fill_uniform(x.data(), prm.n, 606);
+
+  DistFmmFft<Cd> dplan(prm, 2, fmm::Precision::Mixed);
+  EXPECT_EQ(dplan.precision(), fmm::Precision::Mixed);
+  dplan.execute(x.data(), got.data());
+
+  core::exact_fft(prm.n, x.data(), expect.data());
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), prm.n), 4e-7);
+
+  core::FmmFft<Cd> splan(prm, /*fuse_post=*/true, fmm::Precision::Mixed);
+  splan.execute(x.data(), single.data());
+  EXPECT_LT(rel_l2_error(got.data(), single.data(), prm.n), 1e-7);
+}
+
+TEST(DistFmmFft, MixedSerialAndAsyncAreBitIdentical) {
+  // The executor-mode invariant must survive the templated fp32 stage
+  // tasks and comm lambdas.
+  fmm::Params prm{1 << 14, 64, 8, 2, 14};
+  std::vector<Cd> x(static_cast<std::size_t>(prm.n));
+  fill_uniform(x.data(), prm.n, 99);
+  auto run = [&](exec::Mode mode) {
+    std::vector<Cd> y(x.size());
+    exec::ScopedMode sm(mode);
+    DistFmmFft<Cd> plan(prm, 2, fmm::Precision::Mixed);
+    plan.execute(x.data(), y.data());
+    return y;
+  };
+  EXPECT_EQ(run(exec::Mode::Serial), run(exec::Mode::Async));
+}
+
 TEST(DistFmmFft, RealInputAcrossDevices) {
   fmm::Params prm{1 << 14, 64, 8, 2, 18};
   const index_t n = prm.n;
@@ -243,7 +286,7 @@ TEST(DistFmmFft, RealInputAcrossDevices) {
   plan.execute(x.data(), got.data());
   for (std::size_t i = 0; i < x.size(); ++i) xc[i] = Cd(x[i], 0);
   core::exact_fft(n, xc.data(), expect.data());
-  EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), 2e-14);
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), ambient_mixed() ? 4e-7 : 2e-14);
 }
 
 TEST(DistFmmFft, CommVolumeMatchesPaperModel) {
@@ -258,7 +301,11 @@ TEST(DistFmmFft, CommVolumeMatchesPaperModel) {
   plan.execute(x.data(), y.data());
   const auto& fab = plan.fabric();
 
-  const double rb = sizeof(double);
+  // Under the ambient mixed policy the FMM halos ship fp32 words while the
+  // 2D-FFT all-to-all stays at the fp64 shell width; the §5.2 word counts
+  // are identical either way. (The Transfer ledger keys by plain tag at
+  // any width; only the metric/traffic keys carry the ".f32" suffix.)
+  const double rb = ambient_mixed() ? sizeof(float) : sizeof(double);
   // Our implementation sends full C·P boxes (the paper counts C·(P-1)).
   const double s_expect = g * 2.0 * c * prm.p * prm.ml * rb;
   EXPECT_DOUBLE_EQ(fab.bytes_with_tag("COMM-S"), s_expect);

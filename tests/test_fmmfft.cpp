@@ -12,6 +12,7 @@
 #include "common/threadpool.hpp"
 #include "core/fmmfft.hpp"
 #include "core/reference.hpp"
+#include "fmm/accuracy.hpp"
 #include "fft/fft.hpp"
 
 namespace fmmfft::core {
@@ -19,6 +20,12 @@ namespace {
 
 using Cd = std::complex<double>;
 using Cf = std::complex<float>;
+
+// CI runs one leg of the suite under FMMFFT_PRECISION=mixed; plans built
+// with the ambient default then land at the §6.1 single-precision envelope
+// instead of the fp64 one, so the precision-generic tests pick their bound
+// from the active policy.
+bool ambient_mixed() { return fmm::default_precision() == fmm::Precision::Mixed; }
 
 TEST(Factorization, DenseIdentityIsExact) {
   // F_N = (I_P⊗F_M) Π_{M,P} (I_M⊗F_P) Π_{P,M} H Π_{M,P} to machine eps.
@@ -47,8 +54,10 @@ TEST_P(FullPipeline, DoubleComplexMeetsPaperBound) {
   FmmFft<Cd> plan(prm);
   plan.execute(x.data(), got.data());
   exact_fft(c.n, x.data(), expect.data());
-  // Paper §6.1: all reported double-complex runs achieve < 2e-14 rel l2.
-  EXPECT_LT(rel_l2_error(got.data(), expect.data(), c.n), 2e-14) << prm.to_string();
+  // Paper §6.1: all reported double-complex runs achieve < 2e-14 rel l2;
+  // under the ambient mixed policy the fp32 translation bound applies.
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), c.n), ambient_mixed() ? 4e-7 : 2e-14)
+      << prm.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -82,6 +91,59 @@ TEST(FullPipeline, SerialAndPoolRunsAreBitIdentical) {
   EXPECT_EQ(pool_out, serial_out);
 }
 
+TEST(FullPipeline, MixedPrecisionMeetsFp32Envelope) {
+  // Mixed under an fp64 shell: the fp32 translation pipeline must land
+  // inside the paper's single-precision bound, actually diverge from the
+  // fp64 result (the narrow path is engaged), and report its policy.
+  fmm::Params prm{1 << 14, 64, 8, 2, 14};
+  const index_t n = prm.n;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), expect(x.size());
+  fill_uniform(x.data(), n, 515);
+  exact_fft(n, x.data(), expect.data());
+
+  FmmFft<Cd> plan64(prm, /*fuse_post=*/true, fmm::Precision::Fp64);
+  FmmFft<Cd> planmx(prm, /*fuse_post=*/true, fmm::Precision::Mixed);
+  EXPECT_EQ(plan64.precision(), fmm::Precision::Fp64);
+  EXPECT_EQ(planmx.precision(), fmm::Precision::Mixed);
+  std::vector<Cd> got64(x.size()), gotmx(x.size());
+  plan64.execute(x.data(), got64.data());
+  planmx.execute(x.data(), gotmx.data());
+  EXPECT_LT(rel_l2_error(got64.data(), expect.data(), n),
+            fmm::predict_rel_error(prm.q, /*is_double=*/true));
+  EXPECT_LT(rel_l2_error(gotmx.data(), expect.data(), n), 4e-7);  // §6.1 f32 bound
+  EXPECT_NE(got64, gotmx);
+}
+
+TEST(FullPipeline, MixedSerialAndPoolRunsAreBitIdentical) {
+  // The worker-count invariant must survive the fp32 engine and the
+  // elementwise demoting load.
+  fmm::Params prm{1 << 14, 64, 8, 2, 14};
+  const index_t n = prm.n;
+  std::vector<Cd> x(static_cast<std::size_t>(n)), pool_out(x.size()), serial_out(x.size());
+  fill_uniform(x.data(), n, 4321);
+  FmmFft<Cd> plan(prm, /*fuse_post=*/true, fmm::Precision::Mixed);
+  plan.execute(x.data(), pool_out.data());
+  {
+    ThreadPool::ScopedSerial serial;
+    plan.execute(x.data(), serial_out.data());
+  }
+  EXPECT_EQ(pool_out, serial_out);
+}
+
+TEST(FullPipeline, MixedCollapsesToNativeUnderF32Shell) {
+  // With an fp32 shell there is nothing to narrow: Mixed must take the
+  // same engine and produce bit-identical output to the default plan.
+  fmm::Params prm{1 << 14, 64, 8, 2, 10};
+  const index_t n = prm.n;
+  std::vector<Cf> x(static_cast<std::size_t>(n)), a(x.size()), b(x.size());
+  fill_uniform(x.data(), n, 77);
+  FmmFft<Cf> native(prm);
+  FmmFft<Cf> mixed(prm, /*fuse_post=*/true, fmm::Precision::Mixed);
+  native.execute(x.data(), a.data());
+  mixed.execute(x.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
 TEST(FullPipeline, SingleComplexMeetsPaperBound) {
   fmm::Params prm{1 << 16, 128, 16, 3, 8};  // Q=8: the paper's f32 tuning
   const index_t n = prm.n;
@@ -110,7 +172,7 @@ TEST(FullPipeline, RealInputMatchesComplexifiedFft) {
   std::vector<Cd> xc(x.size()), expect(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) xc[i] = Cd(x[i], 0);
   exact_fft(n, xc.data(), expect.data());
-  EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), 2e-14);
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), ambient_mixed() ? 4e-7 : 2e-14);
 }
 
 TEST(FullPipeline, RealFloatInput) {
@@ -155,7 +217,7 @@ TEST(FullPipeline, LinearityOfWholeTransform) {
   plan.execute(w.data(), fw.data());
   std::vector<Cd> combo(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) combo[i] = 3.0 * fu[i] - Cd(0, 2) * fv[i];
-  EXPECT_LT(rel_l2_error(fw.data(), combo.data(), n), 1e-12);
+  EXPECT_LT(rel_l2_error(fw.data(), combo.data(), n), ambient_mixed() ? 1e-6 : 1e-12);
 }
 
 TEST(FullPipeline, ParsevalHolds) {
@@ -169,7 +231,7 @@ TEST(FullPipeline, ParsevalHolds) {
   plan.execute(x.data(), y.data());
   double eout = 0;
   for (auto& z : y) eout += std::norm(z);
-  EXPECT_NEAR(eout, ein * n, ein * n * 1e-10);
+  EXPECT_NEAR(eout, ein * n, ein * n * (ambient_mixed() ? 2e-6 : 1e-10));
 }
 
 TEST(FullPipeline, PlanReuseAcrossInputs) {
@@ -181,7 +243,8 @@ TEST(FullPipeline, PlanReuseAcrossInputs) {
     fill_uniform(x.data(), n, 100 + trial);
     plan.execute(x.data(), got.data());
     exact_fft(n, x.data(), expect.data());
-    EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), 2e-14) << "trial " << trial;
+    EXPECT_LT(rel_l2_error(got.data(), expect.data(), n), ambient_mixed() ? 4e-7 : 2e-14)
+        << "trial " << trial;
   }
 }
 
@@ -221,8 +284,15 @@ TEST(ErrorSweep, OddEvenAccuracyImprovesWithQ) {
     if (q == 18) e18 = err;
   }
   EXPECT_GT(e4, e10);
-  EXPECT_GT(e10, e18);
-  EXPECT_LT(e18, 1e-13);
+  if (ambient_mixed()) {
+    // Q=10 already sits at the fp32 translation floor, so the Q=10 vs
+    // Q=18 ordering is noise; both must just stay inside the envelope.
+    EXPECT_LT(e10, 4e-7);
+    EXPECT_LT(e18, 4e-7);
+  } else {
+    EXPECT_GT(e10, e18);
+    EXPECT_LT(e18, 1e-13);
+  }
 }
 
 }  // namespace

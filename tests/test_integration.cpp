@@ -25,6 +25,11 @@ namespace {
 
 using Cd = std::complex<double>;
 
+// CI runs one leg of the suite under FMMFFT_PRECISION=mixed; plans built
+// with the ambient default then carry the fp32 translation envelope, so
+// the property tests pick their tolerance from the active policy.
+bool ambient_mixed() { return fmm::default_precision() == fmm::Precision::Mixed; }
+
 /// Drive G distributed engines through Algorithm 1 by hand (cyclic halos
 /// via explicit cross-engine copies) and compare every intermediate tensor
 /// against the single-node engine.
@@ -113,7 +118,8 @@ TEST_P(TransformSweep, DistributedDoubleComplex) {
   dist::DistFmmFft<Cd> plan(prm, cse.g);
   plan.execute(x.data(), got.data());
   core::exact_fft(cse.n, x.data(), expect.data());
-  EXPECT_LT(rel_l2_error(got.data(), expect.data(), cse.n), 2e-14) << prm.to_string();
+  EXPECT_LT(rel_l2_error(got.data(), expect.data(), cse.n), ambient_mixed() ? 4e-7 : 2e-14)
+      << prm.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -142,7 +148,7 @@ TEST(TransformProperties, TimeShiftTheorem) {
     worst = std::max(worst, std::abs(fxs[(std::size_t)k] - fx[(std::size_t)k] * tw));
   }
   const double scale = std::sqrt(double(n));
-  EXPECT_LT(worst / scale, 1e-12);
+  EXPECT_LT(worst / scale, ambient_mixed() ? 1e-4 : 1e-12);
 }
 
 TEST(TransformProperties, CircularConvolutionTheorem) {
@@ -166,7 +172,8 @@ TEST(TransformProperties, CircularConvolutionTheorem) {
   for (index_t t : {index_t(0), index_t(5), n / 2, n - 1}) {
     Cd direct = 0;
     for (int i = 0; i < 9; ++i) direct += h[(std::size_t)i] * x[(std::size_t)mod(t - i, n)];
-    EXPECT_NEAR(std::abs(prod[(std::size_t)t] - direct), 0.0, 1e-10) << "t=" << t;
+    EXPECT_NEAR(std::abs(prod[(std::size_t)t] - direct), 0.0, ambient_mixed() ? 1e-3 : 1e-10)
+        << "t=" << t;
   }
 }
 
@@ -182,7 +189,7 @@ TEST(TransformProperties, ConjugationIdentityGivesInverse) {
   for (auto& v : spec) v = std::conj(v);
   plan.execute(spec.data(), back.data());
   for (index_t i = 0; i < n; ++i) back[(std::size_t)i] = std::conj(back[(std::size_t)i]) / double(n);
-  EXPECT_LT(rel_l2_error(back.data(), x.data(), n), 1e-13);
+  EXPECT_LT(rel_l2_error(back.data(), x.data(), n), ambient_mixed() ? 4e-6 : 1e-13);
 }
 
 TEST(TransformProperties, PermutationFactorizationConsistency) {
@@ -210,7 +217,7 @@ TEST(TransformProperties, EnergiesAcrossPrecisions) {
     plan.execute(x.data(), y.data());
     double eout = 0;
     for (auto& v : y) eout += std::norm(v);
-    EXPECT_NEAR(eout / (ein * n), 1.0, 1e-12);
+    EXPECT_NEAR(eout / (ein * n), 1.0, ambient_mixed() ? 2e-6 : 1e-12);
   }
   {
     fmm::Params pf = prm;

@@ -47,7 +47,9 @@ TEST(FmmFftSchedule, CommBytesMatchExecutedFabric) {
 
   std::vector<Cd> x(static_cast<std::size_t>(prm.n)), y(x.size());
   fill_uniform(x.data(), prm.n, 1);
-  DistFmmFft<Cd> plan(prm, g);
+  // The schedule models fp64-shell comm widths, so pin the plan to Fp64
+  // (the ambient FMMFFT_PRECISION would otherwise halve the halo bytes).
+  DistFmmFft<Cd> plan(prm, g, fmm::Precision::Fp64);
   plan.execute(x.data(), y.data());
 
   EXPECT_NEAR(sched.total_comm_bytes() / plan.fabric().total_bytes(), 1.0, 1e-12);

@@ -236,7 +236,10 @@ TEST(Ledger, TrafficMatchesModelOnDistributedRun) {
   dist::DistFmmFft<In> plan(prm, g);
   plan.execute(x.data(), y.data());
 
-  const auto report = compare_traffic_with_model(prm, /*components=*/2, g, sizeof(double));
+  // The plan honors the ambient FMMFFT_PRECISION (CI runs a mixed leg),
+  // so hand the model the matching translation width.
+  const double tb = fmm::translation_real_bytes(fmm::default_precision(), sizeof(double));
+  const auto report = compare_traffic_with_model(prm, /*components=*/2, g, sizeof(double), 1, tb);
   EXPECT_TRUE(report.all_ok()) << report.to_string();
   ASSERT_GE(report.checks.size(), 8u);
 
@@ -248,7 +251,46 @@ TEST(Ledger, TrafficMatchesModelOnDistributedRun) {
 
   // A second run doubles every count; runs=2 must still agree exactly.
   plan.execute(x.data(), y.data());
-  EXPECT_TRUE(compare_traffic_with_model(prm, 2, g, sizeof(double), /*runs=*/2).all_ok());
+  EXPECT_TRUE(compare_traffic_with_model(prm, 2, g, sizeof(double), /*runs=*/2, tb).all_ok());
+}
+
+TEST(Ledger, MixedTrafficMatchesModelAndHalvesCommBytes) {
+  // Mixed precision must stay exact against the model with trans_bytes = 4
+  // and ship exactly half the fp64 run's FMM comm payload; the all-to-all
+  // (shell width) is untouched. Per-precision ".f32" scope keys make the
+  // two byte populations separately visible.
+  const fmm::Params prm{1 << 14, 64, 8, 2, 18};
+  const int g = 2;
+  using In = std::complex<double>;
+  std::vector<In> x(std::size_t(prm.n)), y(x.size());
+  fill_uniform(x.data(), prm.n, 7);
+
+  struct Sums {
+    double fmm_comm = 0, a2a = 0;
+    bool any_f32 = false;
+  };
+  auto run = [&](fmm::Precision prec, double trans_bytes) {
+    TrafficSession s;
+    dist::DistFmmFft<In> plan(prm, g, prec);
+    plan.execute(x.data(), y.data());
+    EXPECT_TRUE(compare_traffic_with_model(prm, 2, g, sizeof(double), 1, trans_bytes).all_ok());
+    Sums sums;
+    for (const auto& [name, t] : TrafficLedger::global().snapshot()) {
+      if (name.rfind("comm.COMM-", 0) == 0) sums.fmm_comm += t.comm_bytes;
+      if (name.rfind("comm.A2A-2D", 0) == 0) sums.a2a += t.comm_bytes;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".f32") == 0)
+        sums.any_f32 = true;
+    }
+    return sums;
+  };
+
+  const Sums fp64 = run(fmm::Precision::Fp64, 0);
+  const Sums mixed = run(fmm::Precision::Mixed, 4.0);
+  ASSERT_GT(fp64.fmm_comm, 0.0);
+  EXPECT_FALSE(fp64.any_f32);
+  EXPECT_TRUE(mixed.any_f32);
+  EXPECT_EQ(mixed.fmm_comm, fp64.fmm_comm / 2);  // exact byte counts
+  EXPECT_EQ(mixed.a2a, fp64.a2a);                // shell width untouched
 }
 
 TEST(Disabled, TrafficHooksDoNotAllocate) {

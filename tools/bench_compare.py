@@ -94,6 +94,7 @@ def compare_native(baseline_path, fresh_path):
         print(f"note: new bench {name} (not in baseline; commit a refresh to track it)")
 
     print_bytes_trend(base, fresh)
+    print_precision_split(base, fresh)
     print_overlap_ratios(base, fresh)
 
     if failures:
@@ -134,6 +135,39 @@ def print_bytes_trend(base, fresh):
     if improved:
         print(f"  hint: bytes decreased on {', '.join(improved)}; commit the fresh run "
               f"as BENCH_native.json to ratchet the {TRAFFIC_TOLERANCE:.0%} gate down.")
+
+
+def print_precision_split(base, fresh):
+    """Per-precision comm-byte split for the mixed-precision runs.
+
+    Every `<stem>_comm_f32` / `<stem>_comm_f64` pair of "bytes" rows (the
+    fp32 FMM halo/allgather payload vs the shell-width all-to-all under
+    FMMFFT_PRECISION=mixed) yields one row with the fp32 share of the comm
+    volume. Report-only and graceful: stems missing a key on either side —
+    e.g. a baseline predating the mixed rows — are simply skipped; the
+    hard gates above already police the individual rows.
+    """
+    def stems(src):
+        return {n[: -len("_comm_f32")] for n in src
+                if n.endswith("_comm_f32") and n[: -len("_comm_f32")] + "_comm_f64" in src}
+
+    common = sorted(stems(base) | stems(fresh))
+    if not common:
+        return
+    print("\nper-precision comm split (mixed runs, report-only):")
+    for stem in common:
+        row = [stem]
+        for src, tag in ((base, "baseline"), (fresh, "fresh")):
+            lo = src.get(stem + "_comm_f32")
+            hi = src.get(stem + "_comm_f64")
+            if lo is None or hi is None:
+                row.append(f"{tag} n/a")
+                continue
+            total = lo["value"] + hi["value"]
+            share = lo["value"] / total if total > 0 else 0.0
+            row.append(f"{tag} f32 {lo['value']:.0f}B / f64 {hi['value']:.0f}B "
+                       f"({share:.0%} narrow)")
+        print("  " + "  ".join(row))
 
 
 def print_overlap_ratios(base, fresh):

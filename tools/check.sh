@@ -53,7 +53,7 @@ METRICS=$(mktemp --suffix=.json)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS"' EXIT
 # Explicit plan with L > B so every FMM stage (including the per-level
 # M2M/M2L/L2L) appears in the trace.
-FMMFFT_TRACE="$TRACE" FMMFFT_METRICS="$METRICS" \
+FMMFFT_TRACE="$TRACE" FMMFFT_METRICS="$METRICS" FMMFFT_PRECISION=fp64 \
   "$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 >/dev/null
 
 for f in "$TRACE" "$METRICS"; do
@@ -81,7 +81,10 @@ TRAFFIC=$(mktemp --suffix=.json)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC"' EXIT
 TRAFFIC_LOG=$(mktemp)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC" "$TRAFFIC_LOG"' EXIT
-"$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 \
+# Pinned fp64: this is the shell-width reference the mixed smoke below
+# halves against, and it must stay fp64 even on CI's mixed-precision leg.
+FMMFFT_PRECISION=fp64 \
+  "$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 \
   --traffic "$TRAFFIC" | tee "$TRAFFIC_LOG" | grep -E "traffic check" || true
 grep -q "traffic check: OK" "$TRAFFIC_LOG" || {
   echo "TRAFFIC SMOKE FAILED: measured bytes deviate from the §5 model"
@@ -123,6 +126,44 @@ if [ -n "${CHECK_ARTIFACTS_DIR:-}" ]; then
   mkdir -p "$CHECK_ARTIFACTS_DIR"
   cp "$TRAFFIC" "$CHECK_ARTIFACTS_DIR/traffic.json"
   cp "$TRAFFIC_LOG" "$CHECK_ARTIFACTS_DIR/traffic_report.txt"
+fi
+
+echo "== mixed-precision traffic smoke test =="
+# Same shape under FMMFFT_PRECISION=mixed: the traffic-vs-model check must
+# stay exact at the fp32 translation width, the FMM comm scopes must carry
+# the ".f32" per-precision keys at exactly half the fp64 payload, and the
+# shell-width all-to-all must be untouched.
+TRAFFIC_MX=$(mktemp --suffix=.json)
+TRAFFIC_MX_LOG=$(mktemp)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC" "$TRAFFIC_LOG" "$TRAFFIC_MX" "$TRAFFIC_MX_LOG"' EXIT
+FMMFFT_PRECISION=mixed \
+  "$BUILD/examples/fmmfft_cli" --log2n 14 --devices 2 --p 64 --ml 8 --b 2 --q 18 \
+  --traffic "$TRAFFIC_MX" | tee "$TRAFFIC_MX_LOG" | grep -E "traffic check" || true
+grep -q "traffic check: OK" "$TRAFFIC_MX_LOG" || {
+  echo "MIXED TRAFFIC SMOKE FAILED: measured bytes deviate from the §5 model"
+  cat "$TRAFFIC_MX_LOG"
+  exit 1
+}
+if command -v python3 >/dev/null; then
+  python3 - "$TRAFFIC" "$TRAFFIC_MX" <<'EOF'
+import json, sys
+fp64 = json.load(open(sys.argv[1]))["scopes"]
+mx = json.load(open(sys.argv[2]))["scopes"]
+need = {"comm.COMM-S.f32", "comm.COMM-MB.f32", "fmm.S2M.f32", "fmm.M2L.f32"}
+missing = need - mx.keys()
+assert not missing, f"mixed traffic JSON missing per-precision scopes: {missing}"
+comm64 = sum(t["comm_bytes"] for n, t in fp64.items()
+             if n.startswith("comm.COMM-"))
+comm32 = sum(t["comm_bytes"] for n, t in mx.items()
+             if n.startswith("comm.COMM-"))
+assert comm32 * 2 == comm64, f"mixed FMM comm {comm32} != half of fp64 {comm64}"
+assert mx["comm.A2A-2D"]["comm_bytes"] == fp64["comm.A2A-2D"]["comm_bytes"]
+print(f"mixed traffic OK: FMM comm halved exactly ({comm64:.0f} -> {comm32:.0f} "
+      f"bytes), A2A at shell width")
+EOF
+else
+  echo "python3 not found; skipped mixed traffic validation (file is non-empty)"
+  [ -s "$TRAFFIC_MX" ] || { echo "MIXED TRAFFIC SMOKE FAILED: $TRAFFIC_MX is empty"; exit 1; }
 fi
 
 echo "== bench regression gate =="
