@@ -27,6 +27,7 @@
 #include "common/threadpool.hpp"
 #include "core/fmmfft.hpp"
 #include "dist/collectives.hpp"
+#include "dist/dfft3d.hpp"
 #include "dist/dfmmfft.hpp"
 #include "exec/executor.hpp"
 #include "fft/fft.hpp"
@@ -146,6 +147,31 @@ void bench_a2a(index_t m, index_t p, int g) {
     fabric.reset();
   });
   record("a2a_staged_g4", "gbytes_per_s", bytes / sec / 1e9, sec);
+}
+
+/// The factorized two-phase Π_{M,P} over a 2×2 grid on the same geometry as
+/// bench_a2a: two sub-communicator hops touch every element twice, so the
+/// numerator counts 2× the one-phase sweep (rate comparable per phase, not
+/// per permutation).
+void bench_a2a_grid(index_t m, index_t p, int g) {
+  using Cx = std::complex<double>;
+  sim::Fabric fabric(g);
+  const index_t slab = m * p / g;
+  Buffer<Cx> bin(m * p), bout(m * p), bwork(m * p);
+  fill_uniform(bin.data(), m * p, 9);
+  std::vector<Cx*> in, out, work;
+  for (int r = 0; r < g; ++r) {
+    in.push_back(bin.data() + r * slab);
+    out.push_back(bout.data() + r * slab);
+    work.push_back(bwork.data() + r * slab);
+  }
+  const dist::ProcGrid grid{2, 2};
+  const double bytes = 2.0 * 2.0 * double(m) * double(p) * sizeof(Cx);  // 2 phases, rd + wr
+  double sec = time_best([&] {
+    dist::all_to_all_permute_mp_grid(fabric, in, out, work, m, p, grid);
+    fabric.reset();
+  });
+  record("a2a_pencil_2x2", "gbytes_per_s", bytes / sec / 1e9, sec);
 }
 
 /// Standalone M2L / S2T kernel benches: the SIMD + separation-fused fast
@@ -333,6 +359,33 @@ void bench_traffic_bytes() {
     record("traffic_dfmmfft_g2_mixed_comm_f32", "bytes", comm_f32, sec);
     record("traffic_dfmmfft_g2_mixed_comm_f64", "bytes", comm_f64, sec);
   }
+  {
+    // Pencil 3D transform on a 2x2 grid: the two sub-communicator hops'
+    // wire payloads (comm.*) and pack/unpack sweeps (a2a.row/col) are exact
+    // functions of the shape, so all four rows hard-gate. Wire bytes per
+    // phase: (pc-1)/pc (row) and (pr-1)/pr (col) of the N-element array.
+    const index_t n0 = 32, n1 = 32, n2 = 16;
+    dist::Dist3dFft<double> plan(n0, n1, n2, 4, model::Decomp::Pencil, {2, 2});
+    Buffer<Cx> in(n0 * n1 * n2), out(n0 * n1 * n2);
+    fill_uniform(in.data(), n0 * n1 * n2, 43);
+    obs::TrafficLedger::global().reset();
+    WallTimer t;
+    plan.execute(in.data(), out.data());
+    const double sec = t.seconds();
+    record("traffic_dfft3d_pencil_comm_row", "bytes",
+           plan.fabric().bytes_with_tag("A2A-ROW"), sec);
+    record("traffic_dfft3d_pencil_comm_col", "bytes",
+           plan.fabric().bytes_with_tag("A2A-COL"), sec);
+    const auto snap = obs::TrafficLedger::global().snapshot();
+    auto scope_sum = [&](const char* prefix) {
+      double b = 0;
+      for (const auto& [name, tt] : snap)
+        if (name.rfind(prefix, 0) == 0) b += tt.bytes_moved();
+      return b;
+    };
+    record("traffic_dfft3d_pencil_row_rw", "bytes", scope_sum("a2a.row."), sec);
+    record("traffic_dfft3d_pencil_col_rw", "bytes", scope_sum("a2a.col."), sec);
+  }
   obs::TrafficLedger::global().reset();
   obs::enable_traffic(was_enabled);
 }
@@ -400,6 +453,7 @@ int main(int argc, char** argv) {
   bench_transpose_ref("transpose_ref_c64_1024", 1024, 1024);
   bench_transpose_inplace("transpose_inplace_c64_1024", 1024);
   bench_a2a(1024, 1024, 4);
+  bench_a2a_grid(1024, 1024, 4);
 
   bench_engine_kernels();
 

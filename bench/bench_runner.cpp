@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "common/table.hpp"
 #include "dist/schedules.hpp"
+#include "model/tuning.hpp"
 #include "obs/analyze.hpp"
 #include "obs/trace_writer.hpp"
 
@@ -55,12 +57,112 @@ std::vector<Config> canonical_configs() {
   return cfgs;
 }
 
+/// Pencil-vs-slab 3D rows: the "fmmfft" leg is the pencil schedule, the
+/// "baseline" leg the slab schedule on the same shape, so the committed
+/// JSON gates both decompositions' makespans and the pencil's bytes.
+struct Config3d {
+  std::string name;
+  model::ArchParams arch;
+  index_t n0, n1, n2;
+  model::GridShape grid;
+};
+
+std::vector<Config3d> canonical_configs_3d() {
+  return {
+      {"8xP100-3d-256-pencil", model::p100_nvlink(8), 256, 256, 256, {2, 4}},
+      {"16xP100-3d-256-pencil", model::p100_nvlink(16), 256, 256, 256, {4, 4}},
+      {"2xK40c-3d-128-pencil", model::k40c_pcie(2), 128, 128, 128, {1, 2}},
+  };
+}
+
+/// Shared JSON/table row emitter: identical schema for the FMM and the 3D
+/// configs, with a config-specific exact all-to-all payload model enforced
+/// as a hard check (the §5.3 bytes are deterministic, so any mismatch is a
+/// builder bug, not noise).
+bool emit_row(obs::JsonWriter& jw, Table& t, const std::string& name,
+              const model::ArchParams& arch, index_t n,
+              const std::vector<std::pair<std::string, double>>& params,
+              const sim::Schedule& fsched, const sim::SimResult& fres, double baseline_seconds,
+              double a2a_model) {
+  const int g = arch.num_devices;
+  const auto rep = obs::analyze(fsched, fres, arch);
+
+  double mean_util = 0;
+  for (const auto& [dev, busy] : rep.device_busy) {
+    (void)busy;
+    mean_util += rep.device_utilization(dev);
+  }
+  if (!rep.device_busy.empty()) mean_util /= double(rep.device_busy.size());
+
+  double tr_flops = 0, tr_bytes = 0, tr_comm = 0;
+  for (const auto& [stage, st] : rep.stage_traffic) {
+    (void)stage;
+    tr_flops += st.flops;
+    tr_bytes += st.bytes;
+    tr_comm += st.comm_bytes;
+  }
+  const auto a2a_it = rep.stage_traffic.find("a2a");
+  const double a2a_bytes = a2a_it != rep.stage_traffic.end() ? a2a_it->second.comm_bytes : 0.0;
+  if (std::fabs(a2a_bytes - a2a_model) > 1e-6 * std::max(a2a_model, 1.0)) {
+    std::fprintf(stderr, "%s: A2A payload %.17g != model %.17g\n", name.c_str(), a2a_bytes,
+                 a2a_model);
+    return false;
+  }
+
+  jw.begin_object();
+  jw.kv("name", name);
+  jw.kv("arch", arch.name);
+  jw.kv("devices", double(g));
+  jw.kv("log2n", double(ilog2_exact(n)));
+  jw.key("params");
+  jw.begin_object();
+  for (const auto& [k, v] : params) jw.kv(k, v);
+  jw.end_object();
+  jw.kv("fmmfft_seconds", fres.total_seconds);
+  jw.kv("baseline_seconds", baseline_seconds);
+  jw.kv("speedup", baseline_seconds / fres.total_seconds);
+  jw.kv("kernel_launches", double(fsched.kernel_launches()));
+  jw.kv("comm_bytes", fsched.total_comm_bytes());
+  // Traffic track (bytes-moved regression gate): totals over the analyzer's
+  // per-stage rollup of the scheduled ops' exact §5 byte/flop counts.
+  jw.key("traffic");
+  jw.begin_object();
+  jw.kv("flops", tr_flops);
+  jw.kv("bytes", tr_bytes);
+  jw.kv("comm_bytes", tr_comm);
+  jw.kv("a2a_bytes", a2a_bytes);
+  jw.kv("words_per_flop", tr_flops > 0 ? (tr_bytes + tr_comm) / (8.0 * tr_flops) : 0.0);
+  jw.end_object();
+  jw.key("critical");
+  jw.begin_object();
+  jw.kv("coverage", rep.critical_coverage);
+  jw.kv("compute", rep.crit_compute);
+  jw.kv("bandwidth", rep.crit_bandwidth);
+  jw.kv("launch", rep.crit_launch);
+  jw.kv("comm", rep.crit_comm);
+  jw.kv("sync", rep.crit_sync);
+  jw.kv("a2a_seconds", rep.critical_stage_seconds("a2a"));
+  jw.end_object();
+  jw.kv("mean_device_utilization", mean_util);
+  jw.end_object();
+
+  t.row()
+      .col(name)
+      .col(fres.total_seconds * 1e3, 3)
+      .col(baseline_seconds * 1e3, 3)
+      .col(baseline_seconds / fres.total_seconds, 2)
+      .col(100.0 * rep.crit_comm / fres.total_seconds, 1)
+      .col(100.0 * mean_util, 1);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_fmmfft.json";
   bench::print_header("Benchmark regression runner",
-                      "canonical Fig. 2/3/5 shapes, simulated (deterministic)");
+                      "canonical Fig. 2/3/5 shapes + 3D pencil-vs-slab, simulated "
+                      "(deterministic)");
 
   std::ofstream os(out_path);
   if (!os) {
@@ -80,79 +182,40 @@ int main(int argc, char** argv) {
     auto bsched = dist::baseline1d_schedule(c.prm.n, c.w, g);
     const auto fres = fsched.simulate(c.arch);
     const auto bres = bsched.simulate(c.arch);
-    const auto rep = obs::analyze(fsched, fres, c.arch);
-
-    double mean_util = 0;
-    for (const auto& [dev, busy] : rep.device_busy) {
-      (void)busy;
-      mean_util += rep.device_utilization(dev);
-    }
-    if (!rep.device_busy.empty()) mean_util /= double(rep.device_busy.size());
-
-    jw.begin_object();
-    jw.kv("name", c.name);
-    jw.kv("arch", c.arch.name);
-    jw.kv("devices", double(g));
-    jw.kv("log2n", double(ilog2_exact(c.prm.n)));
-    jw.key("params");
-    jw.begin_object();
-    jw.kv("p", double(c.prm.p));
-    jw.kv("ml", double(c.prm.ml));
-    jw.kv("b", double(c.prm.b));
-    jw.kv("q", double(c.prm.q));
-    jw.end_object();
-    jw.kv("fmmfft_seconds", fres.total_seconds);
-    jw.kv("baseline_seconds", bres.total_seconds);
-    jw.kv("speedup", bres.total_seconds / fres.total_seconds);
-    jw.kv("kernel_launches", double(fsched.kernel_launches()));
-    jw.kv("comm_bytes", fsched.total_comm_bytes());
-    // Traffic track (bytes-moved regression gate): totals over the analyzer's
-    // per-stage rollup of the scheduled ops' exact §5 byte/flop counts.
-    double tr_flops = 0, tr_bytes = 0, tr_comm = 0;
-    for (const auto& [stage, st] : rep.stage_traffic) {
-      (void)stage;
-      tr_flops += st.flops;
-      tr_bytes += st.bytes;
-      tr_comm += st.comm_bytes;
-    }
-    const auto a2a_it = rep.stage_traffic.find("a2a");
-    const double a2a_bytes = a2a_it != rep.stage_traffic.end() ? a2a_it->second.comm_bytes : 0.0;
     // §5.3 exact transpose payload: every device ships all but its own slab.
     const double a2a_model =
         g > 1 ? (double(g) - 1.0) / double(g) * double(c.prm.n) * 2.0 * sizeof(double) : 0.0;
-    if (std::fabs(a2a_bytes - a2a_model) > 1e-6 * std::max(a2a_model, 1.0)) {
-      std::fprintf(stderr, "%s: A2A payload %.17g != model %.17g\n", c.name.c_str(), a2a_bytes,
-                   a2a_model);
+    if (!emit_row(jw, t, c.name, c.arch, c.prm.n,
+                  {{"p", double(c.prm.p)},
+                   {"ml", double(c.prm.ml)},
+                   {"b", double(c.prm.b)},
+                   {"q", double(c.prm.q)}},
+                  fsched, fres, bres.total_seconds, a2a_model))
       return 1;
-    }
-    jw.key("traffic");
-    jw.begin_object();
-    jw.kv("flops", tr_flops);
-    jw.kv("bytes", tr_bytes);
-    jw.kv("comm_bytes", tr_comm);
-    jw.kv("a2a_bytes", a2a_bytes);
-    jw.kv("words_per_flop", tr_flops > 0 ? (tr_bytes + tr_comm) / (8.0 * tr_flops) : 0.0);
-    jw.end_object();
-    jw.key("critical");
-    jw.begin_object();
-    jw.kv("coverage", rep.critical_coverage);
-    jw.kv("compute", rep.crit_compute);
-    jw.kv("bandwidth", rep.crit_bandwidth);
-    jw.kv("launch", rep.crit_launch);
-    jw.kv("comm", rep.crit_comm);
-    jw.kv("sync", rep.crit_sync);
-    jw.kv("a2a_seconds", rep.critical_stage_seconds("a2a"));
-    jw.end_object();
-    jw.kv("mean_device_utilization", mean_util);
-    jw.end_object();
-
-    t.row()
-        .col(c.name)
-        .col(fres.total_seconds * 1e3, 3)
-        .col(bres.total_seconds * 1e3, 3)
-        .col(bres.total_seconds / fres.total_seconds, 2)
-        .col(100.0 * rep.crit_comm / fres.total_seconds, 1)
-        .col(100.0 * mean_util, 1);
+  }
+  for (const Config3d& c : canonical_configs_3d()) {
+    const int g = c.arch.num_devices;
+    const model::Workload w{c.n0 * c.n1 * c.n2, /*is_complex=*/true, /*is_double=*/true};
+    auto psched =
+        dist::fft3d_schedule(c.n0, c.n1, c.n2, w, g, model::Decomp::Pencil, c.grid);
+    auto ssched = dist::fft3d_schedule(c.n0, c.n1, c.n2, w, g, model::Decomp::Slab);
+    const auto pres = psched.simulate(c.arch);
+    const auto sres = ssched.simulate(c.arch);
+    // Two-phase payload: every element crosses once per sub-communicator hop
+    // (minus the diagonal), so row + col totals sum the two §5.3 terms.
+    const double n = double(c.n0) * double(c.n1) * double(c.n2);
+    const double eb = 2.0 * sizeof(double);
+    const double a2a_model = n * eb *
+                             ((double(c.grid.pc) - 1.0) / double(c.grid.pc) +
+                              (double(c.grid.pr) - 1.0) / double(c.grid.pr));
+    if (!emit_row(jw, t, c.name, c.arch, index_t(n),
+                  {{"n0", double(c.n0)},
+                   {"n1", double(c.n1)},
+                   {"n2", double(c.n2)},
+                   {"pr", double(c.grid.pr)},
+                   {"pc", double(c.grid.pc)}},
+                  psched, pres, sres.total_seconds, a2a_model))
+      return 1;
   }
   jw.end_array();
   jw.end_object();

@@ -10,8 +10,10 @@
 // (fmm::suggest_params). With --simulate, the run is also scheduled on the
 // chosen paper architecture, compared against the 1D-FFT baseline, and the
 // timeline analyzer prints a critical-path / bottleneck summary.
+#include <cmath>
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,10 +24,13 @@
 #include "common/timer.hpp"
 #include "core/fmmfft.hpp"
 #include "core/reference.hpp"
+#include "dist/dfft3d.hpp"
 #include "dist/dfmmfft.hpp"
 #include "dist/schedules.hpp"
+#include "fft/plan3d.hpp"
 #include "fmm/accuracy.hpp"
 #include "model/counts.hpp"
+#include "model/tuning.hpp"
 #include "obs/analyze.hpp"
 #include "obs/compare.hpp"
 #include "obs/env.hpp"
@@ -46,6 +51,8 @@ struct Options {
   std::string simulate;
   std::uint64_t seed = 1;
   std::string trace, metrics, report, traffic;
+  std::string decomp, grid;  // routed through FMMFFT_DECOMP / FMMFFT_GRID
+  std::string fft3d;         // "N0xN1xN2": run the distributed 3D FFT instead
 };
 
 void print_usage(const char* argv0) {
@@ -59,6 +66,21 @@ void print_usage(const char* argv0) {
       "  --p P --ml ML --b B --q Q     pin the FMM plan explicitly\n"
       "  --eps E                or derive the plan from a target error (default 1e-12)\n"
       "  --seed S               RNG seed for the input vector\n"
+      "\n"
+      "distributed decomposition (sets FMMFFT_DECOMP / FMMFFT_GRID):\n"
+      "  --decomp slab|pencil|auto\n"
+      "                         how distributed 2D/3D transforms split across\n"
+      "                         devices: slab = 1D partition, one G-wide\n"
+      "                         all-to-all; pencil = PRxPC grid with two-phase\n"
+      "                         row/column sub-communicator exchanges; auto\n"
+      "                         (default) asks the Sec. 5 cost model\n"
+      "  --grid PRxPC           pin the pencil processor grid (e.g. 2x4); must\n"
+      "                         multiply to G and divide the transform extents\n"
+      "  --fft3d N0xN1xN2       run a distributed 3D FFT of that shape (pow2\n"
+      "                         extents) instead of the FMM-FFT: verifies\n"
+      "                         against the single-node reference transform,\n"
+      "                         prints the decomposition decision and the\n"
+      "                         per-phase exchange payloads\n"
       "\n"
       "modeling:\n"
       "  --simulate 2xk40|2xp100|8xp100\n"
@@ -114,7 +136,8 @@ Options parse(int argc, char** argv) {
       std::exit(0);
     }
     if (opt("--trace", &o.trace) || opt("--metrics", &o.metrics) ||
-        opt("--report", &o.report) || opt("--traffic", &o.traffic))
+        opt("--report", &o.report) || opt("--traffic", &o.traffic) ||
+        opt("--decomp", &o.decomp) || opt("--grid", &o.grid) || opt("--fft3d", &o.fft3d))
       continue;
     if (!std::strcmp(argv[i], "--log2n")) o.log2n = std::atoi(need("--log2n"));
     else if (!std::strcmp(argv[i], "--precision")) o.precision = need("--precision");
@@ -128,11 +151,118 @@ Options parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) o.seed = std::strtoull(need("--seed"), nullptr, 10);
     else usage(argv[0]);
   }
-  if (o.log2n < 10 || o.log2n > 26) {
+  if (o.fft3d.empty() && (o.log2n < 10 || o.log2n > 26)) {
     std::printf("--log2n must be in [10, 26] for native execution\n");
     std::exit(2);
   }
+  // --decomp/--grid route through the obs::env registry (like FMMFFT_EXEC):
+  // validate here for an early diagnostic, then publish as the env knobs so
+  // every Dist2dFft/Dist3dFft constructed below resolves them uniformly.
+  try {
+    if (!o.decomp.empty()) {
+      (void)model::parse_decomp(o.decomp);
+      setenv("FMMFFT_DECOMP", o.decomp.c_str(), 1);
+    }
+    if (!o.grid.empty()) {
+      (void)model::parse_grid(o.grid);
+      setenv("FMMFFT_GRID", o.grid.c_str(), 1);
+    }
+  } catch (const std::exception& e) {
+    std::printf("%s\n", e.what());
+    std::exit(2);
+  }
   return o;
+}
+
+// --fft3d N0xN1xN2: distributed 3D FFT instead of the FMM-FFT pipeline.
+// Real = the working scalar of the requested precision (c32 -> float).
+template <typename Real>
+int run_fft3d(const Options& o) {
+  using Cx = std::complex<Real>;
+  long long e0 = 0, e1 = 0, e2 = 0;
+  if (std::sscanf(o.fft3d.c_str(), "%lldx%lldx%lld", &e0, &e1, &e2) != 3 || e0 <= 0 ||
+      e1 <= 0 || e2 <= 0) {
+    std::printf("--fft3d expects N0xN1xN2 (e.g. 64x64x32), got '%s'\n", o.fft3d.c_str());
+    return 2;
+  }
+  const index_t n0 = e0, n1 = e1, n2 = e2;
+  const index_t n = n0 * n1 * n2;
+
+  if (!o.trace.empty()) obs::enable_tracing(true);
+  if (!o.traffic.empty()) obs::enable_traffic(true);
+
+  dist::Dist3dFft<Real> plan(n0, n1, n2, o.devices);
+  const auto& dec = plan.decision();
+  std::printf("3D FFT %lldx%lldx%lld (N=%lld)  devices=%d  decomp=%s", (long long)n0,
+              (long long)n1, (long long)n2, (long long)n, o.devices,
+              model::to_string(plan.decomp()));
+  if (plan.decomp() == model::Decomp::Pencil)
+    std::printf("  grid=%dx%d", plan.grid().pr, plan.grid().pc);
+  if (dec.model_decided)
+    std::printf("  (model: slab %.3f ms vs pencil %.3f ms)", dec.slab_seconds * 1e3,
+                dec.pencil_seconds * 1e3);
+  std::printf("\n");
+
+  std::vector<Cx> x(static_cast<std::size_t>(n));
+  fill_uniform(x.data(), n, o.seed);
+  std::vector<Cx> y(static_cast<std::size_t>(n));
+
+  WallTimer t;
+  plan.execute(x.data(), y.data());
+  const double secs = t.seconds();
+
+  const double row = plan.fabric().bytes_with_tag("A2A-ROW");
+  const double col = plan.fabric().bytes_with_tag("A2A-COL");
+  const double slab = plan.fabric().bytes_with_tag("A2A-3D");
+  std::printf("execute %.1f ms, exchange payloads: ", secs * 1e3);
+  if (plan.decomp() == model::Decomp::Pencil)
+    std::printf("row %.2f MB + col %.2f MB (%.2f + %.2f MB/device)\n", row / 1e6, col / 1e6,
+                row / 1e6 / o.devices, col / 1e6 / o.devices);
+  else
+    std::printf("%.2f MB (%.2f MB/device)\n", slab / 1e6, slab / 1e6 / o.devices);
+
+  int rc = 0;
+  if (!o.traffic.empty()) {
+    const int pr = plan.decomp() == model::Decomp::Pencil ? plan.grid().pr : 0;
+    const int pc = plan.decomp() == model::Decomp::Pencil ? plan.grid().pc : 0;
+    const auto report =
+        obs::compare_fft3d_traffic(n0, n1, n2, o.devices, sizeof(Real), 1, pr, pc);
+    std::printf("\ntraffic vs model (FMMFFT_TRAFFIC):\n%s", report.to_string().c_str());
+    std::printf("traffic check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
+    if (!report.all_ok()) rc = 1;
+    std::printf("\n%s", obs::TrafficLedger::global().report().c_str());
+    if (obs::write_traffic_file(o.traffic))
+      std::printf("wrote traffic ledger to %s\n", o.traffic.c_str());
+    else
+      std::printf("WARNING: could not write traffic ledger to %s\n", o.traffic.c_str());
+  }
+  if (!o.trace.empty()) {
+    if (obs::write_trace_file(o.trace))
+      std::printf("wrote trace to %s\n", o.trace.c_str());
+    else
+      std::printf("WARNING: could not write trace to %s\n", o.trace.c_str());
+  }
+
+  // Verify against the single-node reference transform. Plan3D works on the
+  // natural layout (i0 fastest); the distributed driver hands back the fully
+  // reversed layout y[i2 + n2·(i1 + n1·i0)], so compare through the remap.
+  std::vector<Cx> ref(x);
+  fft::Plan3D<Real> p3(n0, n1, n2);
+  p3.execute(ref.data(), fft::Direction::Forward);
+  double num = 0, den = 0;
+  for (index_t i2 = 0; i2 < n2; ++i2)
+    for (index_t i1 = 0; i1 < n1; ++i1)
+      for (index_t i0 = 0; i0 < n0; ++i0) {
+        const Cx a = y[(std::size_t)(i2 + n2 * (i1 + n1 * i0))];
+        const Cx b = ref[(std::size_t)(i0 + n0 * (i1 + n1 * i2))];
+        num += std::norm(a - b);
+        den += std::norm(b);
+      }
+  const double err = std::sqrt(num / den);
+  std::printf("rel l2 error vs reference 3D transform: %.2e\n", err);
+  const double tol = sizeof(Real) == 8 ? 1e-12 : 1e-4;
+  if (err > tol) rc = 1;
+  return rc;
 }
 
 template <typename InT>
@@ -165,6 +295,7 @@ int run(const Options& o) {
   std::vector<Out> y(static_cast<std::size_t>(n));
 
   WallTimer t;
+  int pr = 0, pc = 0;  // the 2D-FFT stage's pencil grid (0/0 = slab)
   if (o.devices > 1) {
     dist::DistFmmFft<InT> plan(prm, o.devices, prec);
     const double setup = t.seconds();
@@ -172,6 +303,13 @@ int run(const Options& o) {
     plan.execute(x.data(), y.data());
     std::printf("setup %.1f ms, execute %.1f ms, comm %.2f MB over the fabric\n", setup * 1e3,
                 t.seconds() * 1e3, plan.fabric().total_bytes() / 1e6);
+    if (plan.fft2d().decomp() == model::Decomp::Pencil) {
+      pr = plan.fft2d().grid().pr;
+      pc = plan.fft2d().grid().pc;
+      std::printf("2D FFT exchange: pencil %dx%d (row %.2f MB + col %.2f MB)\n", pr, pc,
+                  plan.fabric().bytes_with_tag("A2A-ROW") / 1e6,
+                  plan.fabric().bytes_with_tag("A2A-COL") / 1e6);
+    }
   } else {
     core::FmmFft<InT> plan(prm, /*fuse_post=*/true, prec);
     const double setup = t.seconds();
@@ -208,10 +346,11 @@ int run(const Options& o) {
   }
   if (!o.traffic.empty()) {
     // Same ordering constraint: the exact-FFT verification below would add
-    // its own fft bytes to the ledger.
+    // its own fft bytes to the ledger. pr/pc: when the 2D-FFT stage resolved
+    // to the pencil exchange, check the per-phase payloads instead of A2A-2D.
     const auto report = obs::compare_traffic_with_model(
         prm, is_complex_v<InT> ? 2 : 1, o.devices, sizeof(Real), 1,
-        fmm::translation_real_bytes(prec, sizeof(Real)));
+        fmm::translation_real_bytes(prec, sizeof(Real)), pr, pc);
     std::printf("\ntraffic vs model (FMMFFT_TRAFFIC):\n%s", report.to_string().c_str());
     std::printf("traffic check: %s\n", report.all_ok() ? "OK" : "DEVIATION");
     std::printf("\n%s", obs::TrafficLedger::global().report().c_str());
@@ -269,6 +408,11 @@ int run(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.fft3d.empty()) {
+    if (o.precision == "c64" || o.precision == "f64") return run_fft3d<double>(o);
+    if (o.precision == "c32" || o.precision == "f32") return run_fft3d<float>(o);
+    usage(argv[0]);
+  }
   if (o.precision == "c64") return run<std::complex<double>>(o);
   if (o.precision == "c32") return run<std::complex<float>>(o);
   if (o.precision == "f64") return run<double>(o);

@@ -170,6 +170,20 @@ void transpose_inplace(T* x, index_t n) {
       /*grain=*/1);
 }
 
+/// Shape-checked front door for callers that carry a (rows, cols) pair: an
+/// in-place transpose only exists for square matrices, and handing a
+/// rectangular shape to the square kernel used to be silent UB (the kernel
+/// would read the leading-dimension-n layout that isn't there). Reject it
+/// with a hard error instead; rectangular layouts must go out-of-place
+/// through transpose_blocked.
+template <typename T>
+void transpose_inplace(T* x, index_t rows, index_t cols) {
+  FMMFFT_CHECK_MSG(rows == cols, "transpose_inplace needs a square matrix, got "
+                                     << rows << "x" << cols
+                                     << " (use transpose_blocked for rectangular shapes)");
+  transpose_inplace(x, rows);
+}
+
 /// Reference blocked transpose (the pre-fusion implementation): simple
 /// 32×32 blocking with a strided write stream. Kept as the equivalence
 /// oracle for the cache-oblivious kernel and as the bench contrast row.

@@ -13,6 +13,7 @@
 // pack/copy/unpack reference is kept below as the equivalence oracle.
 #pragma once
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "common/permute.hpp"
 #include "common/threadpool.hpp"
 #include "common/types.hpp"
+#include "dist/procgrid.hpp"
 #include "sim/fabric.hpp"
 
 namespace fmmfft::dist {
@@ -46,6 +48,60 @@ void a2a_pair_fused(const T* in_r, T* out_rr, int r, int rr, index_t m, index_t 
   // (r·mg + pm) + pp·m — exactly a pg×rows strided transpose.
   fmmfft::detail::transpose_strided_serial(in_r + rr * pg + row_lo * p, p,
                                            out_rr + r * mg + row_lo, m, pg, rows);
+}
+
+/// Which exchange a pair message belongs to, for the traffic ledger: the
+/// one-phase global all-to-all, or the row / column sub-communicator phase
+/// of a pencil two-phase exchange. The ledger macro wants string literals,
+/// so the scope switches between three literal call sites.
+enum class A2aScope { Global, Row, Col };
+
+inline void a2a_record(A2aScope scope, double payload) {
+  switch (scope) {
+    case A2aScope::Global:
+      FMMFFT_TRAFFIC_RW("a2a.pack", payload, 0, 0);
+      FMMFFT_TRAFFIC_RW("a2a.unpack", 0, payload, 0);
+      break;
+    case A2aScope::Row:
+      FMMFFT_TRAFFIC_RW("a2a.row.pack", payload, 0, 0);
+      FMMFFT_TRAFFIC_RW("a2a.row.unpack", 0, payload, 0);
+      break;
+    case A2aScope::Col:
+      FMMFFT_TRAFFIC_RW("a2a.col.pack", payload, 0, 0);
+      FMMFFT_TRAFFIC_RW("a2a.col.unpack", 0, payload, 0);
+      break;
+  }
+}
+
+/// Generalized fused pair message: `batch` independent nr×nc strided
+/// transposes (y[j + i·out_ld] = x[i + j·in_ld] per batch), the building
+/// block of the sub-communicator exchanges. One read + one write per
+/// element, recorded under the scope's pack/unpack keys.
+template <typename T>
+void a2a_pair_fused_strided(const T* in, T* out, index_t nr, index_t nc, index_t in_ld,
+                            index_t out_ld, index_t batch, index_t in_bstride,
+                            index_t out_bstride, A2aScope scope) {
+  if (nr <= 0 || nc <= 0 || batch <= 0) return;
+  a2a_record(scope, double(batch) * double(nr) * double(nc) * sizeof(T));
+  for (index_t b = 0; b < batch; ++b)
+    fmmfft::detail::transpose_strided_serial(in + b * in_bstride, in_ld,
+                                             out + b * out_bstride, out_ld, nr, nc);
+}
+
+/// Same-orientation pair message: `batch` blocks of `rows` rows of
+/// `row_elems` contiguous elements, copied without reordering (the row
+/// phase of the factorized 2D exchange keeps p-fastest order; only the
+/// column phase transposes).
+template <typename T>
+void a2a_pair_copy_strided(const T* in, T* out, index_t row_elems, index_t rows,
+                           index_t in_ld, index_t out_ld, index_t batch, index_t in_bstride,
+                           index_t out_bstride, A2aScope scope) {
+  if (row_elems <= 0 || rows <= 0 || batch <= 0) return;
+  a2a_record(scope, double(batch) * double(rows) * double(row_elems) * sizeof(T));
+  for (index_t b = 0; b < batch; ++b)
+    for (index_t r = 0; r < rows; ++r)
+      std::memcpy(out + b * out_bstride + r * out_ld, in + b * in_bstride + r * in_ld,
+                  std::size_t(row_elems) * sizeof(T));
 }
 
 }  // namespace detail
@@ -74,6 +130,71 @@ void all_to_all_permute_mp(sim::Fabric& fabric, const std::vector<T*>& in,
                                  pg, 0, mg);
           fabric.record(r, rr, double(mg) * double(pg) * sizeof(T), tag,
                         sizeof(real_of_t<T>) == 4);
+        }
+      },
+      /*grain=*/1);
+}
+
+/// Factorized two-phase Π_{M,P} over a pr×pc processor grid (the Dalcin /
+/// AccFFT pencil exchange): phase 1 exchanges within each grid *row*
+/// (pc-member sub-communicators, pc-1 messages of N/(G·pc) elements per
+/// device), phase 2 within each grid *column* (pr-member sub-communicators,
+/// pr-1 messages of N/(G·pr)). Sender (i,j) routes the block destined for
+/// (ii,jj) via the intermediate (i,jj); the row hop is a same-orientation
+/// copy into `work` and only the column hop transposes, so the result is
+/// bit-identical to the one-phase all_to_all_permute_mp. Each phase's pairs
+/// write disjoint blocks and stripe across the pool; the function returns
+/// only after both phases (implicit barrier between them). `work[t]` needs
+/// N/G elements per device and must be distinct from in/out.
+template <typename T>
+void all_to_all_permute_mp_grid(sim::Fabric& fabric, const std::vector<T*>& in,
+                                const std::vector<T*>& out, const std::vector<T*>& work,
+                                index_t m, index_t p, const ProcGrid& grid,
+                                const std::string& row_tag = "A2A-ROW",
+                                const std::string& col_tag = "A2A-COL") {
+  const int g = fabric.num_devices();
+  FMMFFT_CHECK((index_t)in.size() == g && (index_t)out.size() == g &&
+               (index_t)work.size() == g);
+  FMMFFT_CHECK(m % g == 0 && p % g == 0);
+  FMMFFT_CHECK(grid.devices() == g);
+  const int pr = grid.pr, pc = grid.pc;
+  const index_t mg = m / g, pg = p / g;
+  const index_t block = pg * mg;  // one (sender, final-receiver) pair's elements
+  FMMFFT_ASSERT(in[0] != out[0] && in[0] != work[0] && out[0] != work[0]);
+  const bool f32 = sizeof(real_of_t<T>) == 4;
+  // Phase 1 — row sub-communicators: sender s = (i,j) ships to t = (i,jj)
+  // the pr chunks of p destined for column jj, keeping p-fastest order.
+  // work[t] layout: [sender column j][final row ii][pm·pg + pp].
+  parallel_for(
+      index_t(g) * pc,
+      [&](index_t q0, index_t q1) {
+        for (index_t q = q0; q < q1; ++q) {
+          const int s = int(q / pc), jj = int(q % pc);
+          const int i = grid.row_of(s), j = grid.col_of(s);
+          const int t = grid.device(i, jj);
+          detail::a2a_pair_copy_strided(
+              in[(std::size_t)s] + index_t(jj) * pg, work[(std::size_t)t] + index_t(j) * pr * block,
+              /*row_elems=*/pg, /*rows=*/mg, /*in_ld=*/p, /*out_ld=*/pg,
+              /*batch=*/index_t(pr), /*in_bstride=*/index_t(pc) * pg, /*out_bstride=*/block,
+              detail::A2aScope::Row);
+          fabric.record(s, t, double(pr) * double(block) * sizeof(T), row_tag, f32);
+        }
+      },
+      /*grain=*/1);
+  // Phase 2 — column sub-communicators: t = (i,jj) scatters batch ii of
+  // every sender column j into d = (ii,jj)'s final cyclic layout.
+  parallel_for(
+      index_t(g) * pr,
+      [&](index_t q0, index_t q1) {
+        for (index_t q = q0; q < q1; ++q) {
+          const int t = int(q / pr), ii = int(q % pr);
+          const int i = grid.row_of(t), jj = grid.col_of(t);
+          const int d = grid.device(ii, jj);
+          detail::a2a_pair_fused_strided(
+              work[(std::size_t)t] + index_t(ii) * block, out[(std::size_t)d] + index_t(i) * pc * mg,
+              /*nr=*/pg, /*nc=*/mg, /*in_ld=*/pg, /*out_ld=*/m, /*batch=*/index_t(pc),
+              /*in_bstride=*/index_t(pr) * block, /*out_bstride=*/mg, detail::A2aScope::Col);
+          fabric.record(t, d, double(pc) * double(block) * sizeof(T), col_tag, f32);
         }
       },
       /*grain=*/1);

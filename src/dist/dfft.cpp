@@ -88,10 +88,17 @@ void DistFft1d<T>::execute(const std::complex<T>* in, std::complex<T>* out) {
 }
 
 template <typename T>
-Dist2dFft<T>::Dist2dFft(index_t m, index_t p, int g)
+Dist2dFft<T>::Dist2dFft(index_t m, index_t p, int g, model::Decomp decomp,
+                        model::GridShape grid)
     : m_(m), p_(p), g_(g), fabric_(g), plan_m_(m), plan_p_(p) {
   FMMFFT_CHECK_MSG(m % g == 0 && p % g == 0, "G must divide both 2D FFT dimensions");
+  const DecompChoice choice = resolve_decomp_2d(g, m, p, decomp, grid);
+  decomp_ = choice.decomp;
+  grid_ = choice.grid;
+  decision_ = choice.decision;
   for (int r = 0; r < g_; ++r) scratch_.emplace_back(m_ * p_ / g_);
+  if (decomp_ == model::Decomp::Pencil)
+    for (int r = 0; r < g_; ++r) work_.emplace_back(m_ * p_ / g_);
 }
 
 template <typename T>
@@ -123,10 +130,16 @@ void Dist2dFft<T>::execute_slabs_serial(const std::vector<std::complex<T>*>& sla
       plan_p_.execute_batched(slabs[(std::size_t)r], m_ / g_, fft::Direction::Forward);
     }
   }
-  // (b) Π_{M,P} all-to-all — the FMM-FFT's single transpose.
+  // (b) Π_{M,P} all-to-all — the FMM-FFT's single transpose, one-phase or
+  // factorized through the row/column sub-communicators.
   hb.phase("a2a");
   auto sc = ptrs(scratch_);
-  all_to_all_permute_mp(fabric, slabs, sc, m_, p_, "A2A-2D");
+  if (decomp_ == model::Decomp::Pencil) {
+    auto wk = ptrs(work_);
+    all_to_all_permute_mp_grid(fabric, slabs, sc, wk, m_, p_, grid_);
+  } else {
+    all_to_all_permute_mp(fabric, slabs, sc, m_, p_, "A2A-2D");
+  }
   // (c) P local FFTs of size M (P/G per device).
   {
     FMMFFT_SPAN("2DFFT-M");
@@ -150,6 +163,8 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
   using Cx = std::complex<T>;
   FMMFFT_CHECK((index_t)slabs.size() == g_);
   FMMFFT_CHECK(ready.empty() || (int)ready.size() == g_);
+  if (decomp_ == model::Decomp::Pencil)
+    return submit_slabs_pencil(graph, lanes, slabs, fabric, ready);
   const index_t mg = m_ / g_, pg = p_ / g_, slab = m_ * p_ / g_;
   // Same chunk granularity the simulated schedule pipelines with
   // (schedules.cpp chunk_count): enough chunks that a copy can start while
@@ -246,6 +261,154 @@ std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs(exec::TaskGraph& graph,
     }
     std::vector<exec::TaskId> deps = fftm;
     deps.insert(deps.end(), packs_from[(std::size_t)r].begin(), packs_from[(std::size_t)r].end());
+    Cx* dst = slabs[(std::size_t)r];
+    const Cx* src = sc[(std::size_t)r];
+    terminal[(std::size_t)r] = graph.submit(
+        "writeback d" + std::to_string(r), {lanes.compute(r), /*ordered=*/true, "fft"},
+        [dst, src, slab] { std::memcpy(dst, src, sizeof(Cx) * (std::size_t)slab); },
+        std::move(deps));
+  }
+  return terminal;
+}
+
+template <typename T>
+std::vector<exec::TaskId> Dist2dFft<T>::submit_slabs_pencil(
+    exec::TaskGraph& graph, const exec::DeviceLanes& lanes,
+    const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric,
+    const std::vector<exec::TaskId>& ready) {
+  using Cx = std::complex<T>;
+  const int pr = grid_.pr, pc = grid_.pc;
+  const index_t mg = m_ / g_, pg = p_ / g_, slab = m_ * p_ / g_;
+  const index_t block = pg * mg;
+  const index_t nc = std::min<index_t>(std::max<index_t>(2, g_), mg);
+  const index_t step = (mg + nc - 1) / nc;
+  const bool f32 = sizeof(T) == 4;
+  auto sc = ptrs(scratch_);
+  auto wk = ptrs(work_);
+
+  // (a) Row FFT chunks, identical to the slab path.
+  std::vector<std::vector<exec::TaskId>> fftp((std::size_t)g_);
+  for (int r = 0; r < g_; ++r)
+    for (index_t c = 0; c < nc; ++c) {
+      const index_t lo = c * step, hi = std::min(mg, lo + step);
+      if (lo >= hi) break;
+      std::vector<exec::TaskId> deps;
+      if (!ready.empty()) deps.push_back(ready[(std::size_t)r]);
+      Cx* base = slabs[(std::size_t)r] + lo * p_;
+      const index_t rows = hi - lo;
+      fftp[(std::size_t)r].push_back(graph.submit(
+          "fftp d" + std::to_string(r) + " c" + std::to_string(c),
+          {lanes.compute(r), /*ordered=*/false, "fft"},
+          [this, base, rows] {
+            FMMFFT_SPAN("2DFFT-P");
+            plan_p_.execute_batched(base, rows, fft::Direction::Forward);
+          },
+          std::move(deps)));
+    }
+
+  // (b) Row phase: sender s = (i,j) ships the chunks destined for grid
+  // column jj to the intermediate t = (i,jj), same orientation (pure row
+  // copies into t's work buffer). A chunk waits only on the row FFT that
+  // produced its rows.
+  std::vector<std::vector<exec::TaskId>> arrived_row((std::size_t)g_);
+  std::vector<std::vector<exec::TaskId>> packs_row_from((std::size_t)g_);
+  for (int s = 0; s < g_; ++s) {
+    const int i = grid_.row_of(s), j = grid_.col_of(s);
+    for (int jj = 0; jj < pc; ++jj) {
+      const int t = grid_.device(i, jj);
+      for (index_t c = 0; c < nc; ++c) {
+        const index_t lo = c * step, hi = std::min(mg, lo + step);
+        if (lo >= hi) break;
+        const Cx* in = slabs[(std::size_t)s] + index_t(jj) * pg + lo * p_;
+        Cx* out = wk[(std::size_t)t] + index_t(j) * pr * block + lo * pg;
+        const index_t rows = hi - lo;
+        const std::string sfx =
+            " " + std::to_string(s) + "->" + std::to_string(t) + " c" + std::to_string(c);
+        const exec::TaskId pack = graph.submit(
+            "row-pack" + sfx, {lanes.compute(s), /*ordered=*/false, "a2a"},
+            [this, in, out, rows, pg, pc, pr, block] {
+              detail::a2a_pair_copy_strided(in, out, /*row_elems=*/pg, /*rows=*/rows,
+                                            /*in_ld=*/p_, /*out_ld=*/pg,
+                                            /*batch=*/index_t(pr),
+                                            /*in_bstride=*/index_t(pc) * pg,
+                                            /*out_bstride=*/block, detail::A2aScope::Row);
+            },
+            {fftp[(std::size_t)s][(std::size_t)c]});
+        packs_row_from[(std::size_t)s].push_back(pack);
+        arrived_row[(std::size_t)t].push_back(graph.submit(
+            "row-copy" + sfx, {lanes.copy(s, t), /*ordered=*/true, "a2a"},
+            [&fabric, s, t, rows, pg, pr, f32] {
+              fabric.record(s, t, double(pr) * double(rows) * double(pg) * sizeof(Cx),
+                            "A2A-ROW", f32);
+            },
+            {pack}));
+      }
+    }
+  }
+
+  // (c) Column phase: the intermediate t = (i,jj) scatters batch ii of
+  // every sender column into d = (ii,jj)'s final cyclic layout (the only
+  // transposing hop). It reads t's whole work buffer, so it waits on t's
+  // row join; writes go to d's scratch slab, which nothing else touches.
+  std::vector<exec::TaskId> row_join((std::size_t)g_);
+  for (int t = 0; t < g_; ++t)
+    row_join[(std::size_t)t] =
+        graph.submit("row-join d" + std::to_string(t),
+                     {lanes.compute(t), /*ordered=*/false, "sync"}, [] {},
+                     arrived_row[(std::size_t)t]);
+  std::vector<std::vector<exec::TaskId>> arrived_col((std::size_t)g_);
+  for (int t = 0; t < g_; ++t) {
+    const int i = grid_.row_of(t), jj = grid_.col_of(t);
+    for (int ii = 0; ii < pr; ++ii) {
+      const int d = grid_.device(ii, jj);
+      const Cx* in = wk[(std::size_t)t] + index_t(ii) * block;
+      Cx* out = sc[(std::size_t)d] + index_t(i) * pc * mg;
+      const std::string sfx = " " + std::to_string(t) + "->" + std::to_string(d);
+      const exec::TaskId pack = graph.submit(
+          "col-pack" + sfx, {lanes.compute(t), /*ordered=*/false, "a2a"},
+          [this, in, out, pg, mg, pc, pr, block] {
+            detail::a2a_pair_fused_strided(in, out, /*nr=*/pg, /*nc=*/mg, /*in_ld=*/pg,
+                                           /*out_ld=*/m_, /*batch=*/index_t(pc),
+                                           /*in_bstride=*/index_t(pr) * block,
+                                           /*out_bstride=*/mg, detail::A2aScope::Col);
+          },
+          {row_join[(std::size_t)t]});
+      arrived_col[(std::size_t)d].push_back(graph.submit(
+          "col-copy" + sfx, {lanes.copy(t, d), /*ordered=*/true, "a2a"},
+          [&fabric, t, d, pc, block, f32] {
+            fabric.record(t, d, double(pc) * double(block) * sizeof(Cx), "A2A-COL", f32);
+          },
+          {pack}));
+    }
+  }
+
+  // (d) Column FFTs and write-back, as in the slab path: the write-back
+  // also waits for every row pack still reading this device's slab (WAR).
+  std::vector<exec::TaskId> terminal((std::size_t)g_);
+  for (int r = 0; r < g_; ++r) {
+    const exec::TaskId join =
+        graph.submit("col-join d" + std::to_string(r),
+                     {lanes.compute(r), /*ordered=*/false, "sync"}, [] {},
+                     arrived_col[(std::size_t)r]);
+    std::vector<exec::TaskId> fftm;
+    const index_t stepm = (pg + nc - 1) / nc;
+    for (index_t c = 0; c < nc; ++c) {
+      const index_t lo = c * stepm, hi = std::min(pg, lo + stepm);
+      if (lo >= hi) break;
+      Cx* base = sc[(std::size_t)r] + lo * m_;
+      const index_t rows = hi - lo;
+      fftm.push_back(graph.submit(
+          "fftm d" + std::to_string(r) + " c" + std::to_string(c),
+          {lanes.compute(r), /*ordered=*/false, "fft"},
+          [this, base, rows] {
+            FMMFFT_SPAN("2DFFT-M");
+            plan_m_.execute_batched(base, rows, fft::Direction::Forward);
+          },
+          {join}));
+    }
+    std::vector<exec::TaskId> deps = fftm;
+    deps.insert(deps.end(), packs_row_from[(std::size_t)r].begin(),
+                packs_row_from[(std::size_t)r].end());
     Cx* dst = slabs[(std::size_t)r];
     const Cx* src = sc[(std::size_t)r];
     terminal[(std::size_t)r] = graph.submit(

@@ -18,6 +18,8 @@
 
 #include "common/aligned.hpp"
 #include "common/types.hpp"
+#include "dist/decomp.hpp"
+#include "dist/procgrid.hpp"
 #include "exec/executor.hpp"
 #include "fft/fft.hpp"
 #include "sim/fabric.hpp"
@@ -52,10 +54,19 @@ class DistFft1d {
 
 /// Distributed M×P 2D FFT in the FMM-FFT's p-major layout: input element
 /// (p, m) at position p + m·P, block partitioned over m; output in order.
+///
+/// The single Π_{M,P} exchange runs in either decomposition: slab (the
+/// one-phase G-wide all-to-all, tag A2A-2D) or pencil (the factorized
+/// two-phase form over a pr×pc grid — row phase A2A-ROW, column phase
+/// A2A-COL — each confined to a √G-ish sub-communicator). Both move the
+/// same element values with pure copies, so results are bit-identical.
 template <typename T>
 class Dist2dFft {
  public:
-  Dist2dFft(index_t m, index_t p, int g);
+  /// `decomp`/`grid` default to the environment / cost-model resolution
+  /// (dist::resolve_decomp_2d: ctor argument > FMMFFT_DECOMP > model).
+  Dist2dFft(index_t m, index_t p, int g, model::Decomp decomp = model::Decomp::Auto,
+            model::GridShape grid = {});
 
   void execute(const std::complex<T>* in, std::complex<T>* out);
 
@@ -78,15 +89,27 @@ class Dist2dFft {
                                          const std::vector<exec::TaskId>& ready = {});
 
   const sim::Fabric& fabric() const { return fabric_; }
+  model::Decomp decomp() const { return decomp_; }
+  const ProcGrid& grid() const { return grid_; }
+  const model::DecompDecision& decision() const { return decision_; }
 
  private:
   void execute_slabs_serial(const std::vector<std::complex<T>*>& slabs, sim::Fabric& fabric);
+  std::vector<exec::TaskId> submit_slabs_pencil(exec::TaskGraph& graph,
+                                                const exec::DeviceLanes& lanes,
+                                                const std::vector<std::complex<T>*>& slabs,
+                                                sim::Fabric& fabric,
+                                                const std::vector<exec::TaskId>& ready);
 
   index_t m_, p_;
   int g_;
+  model::Decomp decomp_ = model::Decomp::Slab;
+  ProcGrid grid_;
+  model::DecompDecision decision_;
   sim::Fabric fabric_;
   fft::Plan1D<T> plan_m_, plan_p_;
   std::vector<Buffer<std::complex<T>>> scratch_;
+  std::vector<Buffer<std::complex<T>>> work_;  ///< pencil intermediate (N/G each)
 };
 
 }  // namespace fmmfft::dist

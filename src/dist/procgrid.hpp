@@ -1,0 +1,21 @@
+// 2D processor grid for pencil decompositions: device d = i·pc + j sits in
+// row i (a pc-member row sub-communicator exchanging along dimension 0/1)
+// and column j (a pr-member column sub-communicator exchanging along
+// dimension 1/2). The row-major device numbering matches sim::Fabric's flat
+// device ids, so sub-communicator traffic lands on the same pair ledger as
+// the global all-to-all.
+#pragma once
+
+namespace fmmfft::dist {
+
+struct ProcGrid {
+  int pr = 1;  ///< grid rows (column sub-communicator size)
+  int pc = 1;  ///< grid columns (row sub-communicator size)
+
+  int devices() const { return pr * pc; }
+  int device(int i, int j) const { return i * pc + j; }
+  int row_of(int d) const { return d / pc; }
+  int col_of(int d) const { return d % pc; }
+};
+
+}  // namespace fmmfft::dist

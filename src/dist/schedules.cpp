@@ -67,6 +67,50 @@ ChunkedA2A chunked_all_to_all(Schedule& s, int g, int chunks, double bytes_per_p
   return out;
 }
 
+/// Sub-communicator variant: identical pack/message/unpack structure, but
+/// device d exchanges only with `peers[d]` (a pencil row or column group).
+/// Pack/unpack still sweep the whole local pencil — every element moves
+/// (or is re-laid-out locally) in each phase.
+ChunkedA2A chunked_sub_a2a(Schedule& s, int g, int chunks, double bytes_per_pair,
+                           const std::string& tag, const model::Workload& w, double slab_pts,
+                           const std::vector<std::vector<int>>& producer_deps,
+                           const std::vector<std::vector<int>>& peers) {
+  s.set_stage("a2a");
+  ChunkedA2A out;
+  out.arrivals.assign((std::size_t)g, std::vector<int>((std::size_t)chunks, -1));
+  const double chunk_bytes = bytes_per_pair / chunks;
+  const double chunk_mem = 2.0 * (slab_pts / chunks) * cbytes(w);
+
+  std::vector<std::vector<int>> pack((std::size_t)g, std::vector<int>((std::size_t)chunks));
+  for (int d = 0; d < g; ++d)
+    for (int c = 0; c < chunks; ++c) {
+      std::vector<int> deps;
+      if (!producer_deps.empty() && producer_deps[(std::size_t)d][(std::size_t)c] >= 0)
+        deps.push_back(producer_deps[(std::size_t)d][(std::size_t)c]);
+      pack[(std::size_t)d][(std::size_t)c] =
+          s.add_kernel(d, tag + "-pack", KC::Copy, 0.0, chunk_mem, w.is_double, deps);
+    }
+
+  std::vector<std::vector<std::vector<int>>> into(
+      (std::size_t)g, std::vector<std::vector<int>>((std::size_t)chunks));
+  for (int c = 0; c < chunks; ++c)
+    for (int src = 0; src < g; ++src)
+      for (int dst : peers[(std::size_t)src]) {
+        if (src == dst) continue;
+        into[(std::size_t)dst][(std::size_t)c].push_back(
+            s.add_comm(src, dst, tag, chunk_bytes, {pack[(std::size_t)src][(std::size_t)c]}));
+      }
+
+  for (int d = 0; d < g; ++d)
+    for (int c = 0; c < chunks; ++c) {
+      auto deps = into[(std::size_t)d][(std::size_t)c];
+      deps.push_back(pack[(std::size_t)d][(std::size_t)c]);
+      out.arrivals[(std::size_t)d][(std::size_t)c] =
+          s.add_kernel(d, tag + "-unpack", KC::Copy, 0.0, chunk_mem, w.is_double, deps);
+    }
+  return out;
+}
+
 /// Chunked batch-FFT phase; FFT kernels sit in the "library primitive"
 /// efficiency tier, same as BatchedGEMM.
 std::vector<std::vector<int>> fft_phase(Schedule& s, int g, int chunks, double total_points,
@@ -285,6 +329,64 @@ sim::Schedule dist2dfft_schedule(index_t m, index_t p, const model::Workload& w,
   auto a2a =
       chunked_all_to_all(s, g, chunks, n / (double(g) * g) * cbytes(w), "A2A-2D", w, slab_pts, f1);
   fft_phase(s, g, chunks, slab_pts, double(m), w, "FFT-M", a2a.arrivals);
+  return s;
+}
+
+sim::Schedule fft3d_schedule(index_t n0, index_t n1, index_t n2, const model::Workload& w,
+                             int g, model::Decomp decomp, model::GridShape grid) {
+  FMMFFT_CHECK_MSG(decomp != model::Decomp::Auto,
+                   "fft3d_schedule needs a resolved decomposition — call "
+                   "model::choose_decomp first");
+  Schedule s;
+  const int chunks = chunk_count(g);
+  const double n = double(n0) * double(n1) * double(n2);
+  const double slab_pts = n / g;
+
+  if (decomp == model::Decomp::Slab) {
+    FMMFFT_CHECK_MSG(model::slab_feasible_3d(n0, n1, n2, g),
+                     "slab layout does not divide " << n0 << "x" << n1 << "x" << n2
+                                                    << " across " << g << " devices");
+    auto f0 = fft_phase(s, g, chunks, slab_pts, double(n0), w, "FFT-X", {});
+    // Local i0<->i1 reorientation between the line phases: pure copies, one
+    // read + one write of the slab (the term fft3d_slab_seconds prices and
+    // the pencil layout folds into its row hop).
+    s.set_stage("transpose");
+    std::vector<std::vector<int>> tr((std::size_t)g, std::vector<int>((std::size_t)chunks));
+    const double tr_mem = 2.0 * (slab_pts / chunks) * cbytes(w);
+    for (int d = 0; d < g; ++d)
+      for (int c = 0; c < chunks; ++c)
+        tr[(std::size_t)d][(std::size_t)c] =
+            s.add_kernel(d, "REORIENT", KC::Copy, 0.0, tr_mem, w.is_double,
+                         {f0[(std::size_t)d][(std::size_t)c]});
+    auto f1 = fft_phase(s, g, chunks, slab_pts, double(n1), w, "FFT-Y", tr);
+    auto a2a = chunked_all_to_all(s, g, chunks, n / (double(g) * g) * cbytes(w), "A2A-3D", w,
+                                  slab_pts, f1);
+    fft_phase(s, g, chunks, slab_pts, double(n2), w, "FFT-Z", a2a.arrivals);
+    return s;
+  }
+
+  FMMFFT_CHECK_MSG(grid.devices() == g, "processor grid " << grid.pr << "x" << grid.pc
+                                                          << " does not cover " << g
+                                                          << " devices");
+  FMMFFT_CHECK_MSG(model::pencil_feasible_3d(n0, n1, n2, grid),
+                   "pencil grid " << grid.pr << "x" << grid.pc << " does not divide " << n0
+                                  << "x" << n1 << "x" << n2);
+  // Device d sits at row d / pc, column d % pc of the grid; each exchange
+  // stays inside one row (pc peers) or one column (pr peers).
+  const int pr = grid.pr, pc = grid.pc;
+  std::vector<std::vector<int>> row_peers((std::size_t)g), col_peers((std::size_t)g);
+  for (int d = 0; d < g; ++d) {
+    const int i = d / pc, j = d % pc;
+    for (int jj = 0; jj < pc; ++jj) row_peers[(std::size_t)d].push_back(i * pc + jj);
+    for (int ii = 0; ii < pr; ++ii) col_peers[(std::size_t)d].push_back(ii * pc + j);
+  }
+  auto f0 = fft_phase(s, g, chunks, slab_pts, double(n0), w, "FFT-X", {});
+  auto row = chunked_sub_a2a(s, g, chunks, n / (double(g) * pc) * cbytes(w), "A2A-ROW", w,
+                             slab_pts, f0, row_peers);
+  auto f1 = fft_phase(s, g, chunks, slab_pts, double(n1), w, "FFT-Y", row.arrivals);
+  auto col = chunked_sub_a2a(s, g, chunks, n / (double(g) * pr) * cbytes(w), "A2A-COL", w,
+                             slab_pts, f1, col_peers);
+  fft_phase(s, g, chunks, slab_pts, double(n2), w, "FFT-Z", col.arrivals);
   return s;
 }
 

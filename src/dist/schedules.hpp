@@ -14,6 +14,7 @@
 
 #include "fmm/params.hpp"
 #include "model/counts.hpp"
+#include "model/tuning.hpp"
 #include "sim/schedule.hpp"
 
 namespace fmmfft::dist {
@@ -27,5 +28,15 @@ sim::Schedule baseline1d_schedule(index_t n, const model::Workload& w, int g);
 
 /// Standalone distributed M×P 2D FFT (Fig. 3's "2D cuFFTXT" budget bar).
 sim::Schedule dist2dfft_schedule(index_t m, index_t p, const model::Workload& w, int g);
+
+/// Distributed n0×n1×n2 3D FFT in either decomposition (mirrors
+/// dist::Dist3dFft). Slab: FFT → local reorientation → FFT → one chunked
+/// G-wide all-to-all → FFT. Pencil (`grid` must satisfy grid.devices() ==
+/// g): FFT → chunked row-subgroup exchange (pc-1 peers) → FFT → chunked
+/// column-subgroup exchange (pr-1 peers) → FFT. The builder takes the
+/// decomposition explicitly — resolve Auto via model::choose_decomp first.
+sim::Schedule fft3d_schedule(index_t n0, index_t n1, index_t n2, const model::Workload& w,
+                             int g, model::Decomp decomp,
+                             model::GridShape grid = {});
 
 }  // namespace fmmfft::dist

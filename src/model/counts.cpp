@@ -188,6 +188,75 @@ double baseline1d_seconds(const Workload& w, const ArchParams& arch, bool apply_
   return std::max(3.0 * a2a, compute);
 }
 
+double slab_a2a_bytes_per_device(double n_elems, double element_bytes, int g) {
+  if (g <= 1) return 0.0;
+  const double gd = double(g);
+  return (gd - 1.0) * n_elems / (gd * gd) * element_bytes;
+}
+
+double pencil_a2a_bytes_per_device(double n_elems, double element_bytes, int pr, int pc) {
+  const double gd = double(pr) * double(pc);
+  if (gd <= 1) return 0.0;
+  const double row = double(pc - 1) * n_elems / (gd * double(pc)) * element_bytes;
+  const double col = double(pr - 1) * n_elems / (gd * double(pr)) * element_bytes;
+  return row + col;
+}
+
+double slab_a2a_seconds(double n_elems, double element_bytes, const ArchParams& arch) {
+  return all_to_all_seconds(n_elems / (double(arch.num_devices) * arch.num_devices) *
+                                element_bytes,
+                            arch);
+}
+
+double pencil_a2a_seconds(double n_elems, double element_bytes, int pr, int pc,
+                          const ArchParams& arch) {
+  const double gd = double(pr) * double(pc);
+  if (gd <= 1) return 0.0;
+  // Each phase runs its sub-communicators concurrently on dedicated links
+  // (every device drains its own pc-1 / pr-1 message queue); a shared bus
+  // serializes all G senders of the phase, as in all_to_all_seconds.
+  const double row_msg = link_seconds(n_elems / (gd * double(pc)) * element_bytes, arch);
+  const double col_msg = link_seconds(n_elems / (gd * double(pr)) * element_bytes, arch);
+  const double bus = arch.links_shared ? gd : 1.0;
+  return bus * (double(pc - 1) * row_msg + double(pr - 1) * col_msg);
+}
+
+namespace {
+
+/// Shared compute side of the 3D models: three batched FFT phases over the
+/// per-device N/G points.
+double fft3d_compute_seconds(index_t n0, index_t n1, index_t n2, const Workload& w,
+                             const ArchParams& arch, bool apply_efficiency) {
+  const double local_pts = double(n0) * double(n1) * double(n2) / double(arch.num_devices);
+  return fft_kernel_seconds(local_pts, double(n0), w, arch, apply_efficiency) +
+         fft_kernel_seconds(local_pts, double(n1), w, arch, apply_efficiency) +
+         fft_kernel_seconds(local_pts, double(n2), w, arch, apply_efficiency);
+}
+
+}  // namespace
+
+double fft3d_slab_seconds(index_t n0, index_t n1, index_t n2, const Workload& w,
+                          const ArchParams& arch, bool apply_efficiency) {
+  const double n = double(n0) * double(n1) * double(n2);
+  const double cbytes = 2.0 * w.real_bytes();
+  double compute = fft3d_compute_seconds(n0, n1, n2, w, arch, apply_efficiency);
+  // Local per-plane reorientation between the first two FFT phases (the
+  // pencil path folds this into its row exchange): one read+write sweep.
+  compute += kernel_seconds(0.0, 2.0 * n / double(arch.num_devices) * cbytes,
+                            fmm::KernelClass::Copy, arch, w.is_double, apply_efficiency);
+  if (arch.num_devices <= 1) return compute;
+  return std::max(compute, slab_a2a_seconds(n, cbytes, arch));
+}
+
+double fft3d_pencil_seconds(index_t n0, index_t n1, index_t n2, int pr, int pc,
+                            const Workload& w, const ArchParams& arch,
+                            bool apply_efficiency) {
+  const double n = double(n0) * double(n1) * double(n2);
+  const double cbytes = 2.0 * w.real_bytes();
+  const double compute = fft3d_compute_seconds(n0, n1, n2, w, arch, apply_efficiency);
+  return std::max(compute, pencil_a2a_seconds(n, cbytes, pr, pc, arch));
+}
+
 double crossover_ratio(const fmm::Params& prm, const Workload& w, const ArchParams& arch) {
   const double wf = paper_fmm_flops(prm, w.c(), arch.num_devices);
   const double d = paper_fmm_mops(prm, w.c(), arch.num_devices) * w.real_bytes();

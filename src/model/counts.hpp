@@ -99,6 +99,37 @@ double fmmfft_seconds(const fmm::Params& prm, const Workload& w, const ArchParam
 /// max(3 all-to-alls, compute) plus per-stage launch costs.
 double baseline1d_seconds(const Workload& w, const ArchParams& arch, bool apply_efficiency);
 
+// ---------------------------------------------------------------------------
+// Slab-vs-pencil decomposition cost model (ROADMAP item 2). The slab
+// exchange is the §5 one-phase transpose: G-1 messages of N/G² elements per
+// device. The pencil exchange (AccFFT / Dalcin two-phase scheme) confines
+// each phase to a √G-member row/column sub-communicator: fewer, larger
+// messages per phase at the price of moving ≈2× the total bytes.
+
+/// Fabric payload bytes ONE device sends in the one-phase slab exchange:
+/// (G-1) messages of n/G² elements.
+double slab_a2a_bytes_per_device(double n_elems, double element_bytes, int g);
+/// ... and in the two-phase pencil exchange over a pr×pc grid: the row
+/// phase sends pc-1 messages of n/(G·pc) elements, the column phase pr-1
+/// messages of n/(G·pr) (G = pr·pc).
+double pencil_a2a_bytes_per_device(double n_elems, double element_bytes, int pr, int pc);
+
+/// Exchange wall time under the §5.4 link model (latency + bytes/bw per
+/// message; a shared bus serializes all senders, dedicated links only the
+/// per-device message queue).
+double slab_a2a_seconds(double n_elems, double element_bytes, const ArchParams& arch);
+double pencil_a2a_seconds(double n_elems, double element_bytes, int pr, int pc,
+                          const ArchParams& arch);
+
+/// Model time of the distributed n0×n1×n2 3D FFT. Slab: three batched FFT
+/// phases plus a local reorientation pass, overlapped with the one global
+/// all-to-all. Pencil (pr×pc grid): the same FFT phases overlapped with
+/// the row + column sub-communicator exchanges.
+double fft3d_slab_seconds(index_t n0, index_t n1, index_t n2, const Workload& w,
+                          const ArchParams& arch, bool apply_efficiency);
+double fft3d_pencil_seconds(index_t n0, index_t n1, index_t n2, int pr, int pc,
+                            const Workload& w, const ArchParams& arch, bool apply_efficiency);
+
 /// §6: communication-to-flop crossover ratio beta / min(gamma, beta·W/D)
 /// evaluated for the FMM-FFT workload at size n — the paper computes
 /// ≈0.031 byte/flop on P100 (double).

@@ -46,4 +46,78 @@ fmm::Params search_best_params_cached(TuningCache& cache, index_t n, index_t g,
                                       const Workload& w, const ArchParams& arch, int q,
                                       int b_max = 8);
 
+// ---------------------------------------------------------------------------
+// Slab-vs-pencil decomposition autotuning (ROADMAP item 2). The distributed
+// drivers consult `choose_decomp*` when the caller (or FMMFFT_DECOMP) says
+// `auto`: the §5 link model prices the one-phase slab exchange against the
+// two-phase row/column sub-communicator exchange and the cheaper one wins.
+
+/// How a distributed multidimensional transform splits its data across G
+/// devices.
+enum class Decomp {
+  Auto,    ///< let the cost model decide (FMMFFT_DECOMP=auto)
+  Slab,    ///< 1D device partition, one G-wide all-to-all
+  Pencil,  ///< pr×pc device grid, row + column sub-communicator all-to-alls
+};
+
+const char* to_string(Decomp d);
+/// Parse "auto" | "slab" | "pencil" (the FMMFFT_DECOMP values). Throws on
+/// anything else.
+Decomp parse_decomp(const std::string& text);
+
+/// A pr×pc processor grid (G = pr·pc). {0, 0} means "unspecified".
+struct GridShape {
+  int pr = 0;
+  int pc = 0;
+  int devices() const { return pr * pc; }
+  bool specified() const { return pr > 0 && pc > 0; }
+  auto operator<=>(const GridShape&) const = default;
+};
+
+/// Parse "PRxPC" (e.g. "2x4") as used by FMMFFT_GRID / --grid. Throws on
+/// malformed input or non-positive factors.
+GridShape parse_grid(const std::string& text);
+
+/// The most square factorization pr·pc = g with pr ≤ pc (pencil phases want
+/// both sub-communicators near √G).
+GridShape default_grid(int g);
+/// Like default_grid, but constrained to grids feasible for an n0×n1×n2
+/// transform (falls back over squarer→flatter factorizations; returns
+/// {0, 0} when no factorization divides the extents).
+GridShape default_grid3d(int g, index_t n0, index_t n1, index_t n2);
+
+/// Divisibility preconditions of the two data layouts.
+bool slab_feasible_3d(index_t n0, index_t n1, index_t n2, int g);
+bool pencil_feasible_3d(index_t n0, index_t n1, index_t n2, const GridShape& grid);
+
+/// Outcome of an autotuned (or forced) decomposition decision.
+struct DecompDecision {
+  Decomp chosen = Decomp::Slab;  ///< never Auto on output
+  GridShape grid;                ///< the pencil grid (valid iff chosen == Pencil
+                                 ///< or pencil was feasible)
+  double slab_seconds = 0;  ///< modeled decomposition-dependent wall times (3D:
+  double pencil_seconds = 0;  ///< full transform; 2D: the exchange phase)
+  bool slab_feasible = false;
+  bool pencil_feasible = false;
+  bool model_decided = false;  ///< true when `requested` was Auto
+};
+
+/// Decide slab vs pencil for an n0×n1×n2 transform on g devices. `requested`
+/// other than Auto forces that decomposition (throws if infeasible);
+/// Auto prices both (ties go to slab — fewer bytes moved) using `w`/`arch`.
+/// An unspecified `requested_grid` defaults to default_grid3d.
+DecompDecision choose_decomp(Decomp requested, GridShape requested_grid, index_t n0,
+                             index_t n1, index_t n2, int g, const Workload& w,
+                             const ArchParams& arch);
+
+/// Same decision for the 2D M×P transform, where "pencil" means the
+/// factorized two-phase exchange of the same Π_{M,P} permutation (any pr·pc
+/// = g grid is feasible whenever the slab layout is). Both variants are
+/// priced, but Auto always keeps the slab here: factorizing one transpose
+/// doubles the fabric bytes with no feasibility or locality gain, so the
+/// two-phase form is explicit-request only (the returned slab/pencil
+/// seconds still expose the modeled latency trade).
+DecompDecision choose_decomp_2d(Decomp requested, GridShape requested_grid, index_t m,
+                                index_t p, int g, const Workload& w, const ArchParams& arch);
+
 }  // namespace fmmfft::model

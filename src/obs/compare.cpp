@@ -115,24 +115,33 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
   return rep;
 }
 
+namespace {
+
+// Sum a field over all ledger scopes with the given name prefix.
+enum Field { kComm, kRw, kFlops };
+
+double ledger_sum(const std::map<std::string, TrafficTotals>& snap, const std::string& prefix,
+                  Field f) {
+  double s = 0;
+  for (const auto& [name, t] : snap) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    s += f == kComm ? t.comm_bytes : f == kRw ? t.bytes_read + t.bytes_written : t.flops;
+  }
+  return s;
+}
+
+}  // namespace
+
 ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
-                                       double real_bytes, int runs, double trans_bytes) {
+                                       double real_bytes, int runs, double trans_bytes,
+                                       int pr, int pc) {
   constexpr double kExact = 1e-9;
   const auto snap = TrafficLedger::global().snapshot();
   const double r = double(runs), gd = double(g);
   const double n = double(prm.n);
   const double tb = trans_bytes > 0 ? trans_bytes : real_bytes;
 
-  // Sum a field over all ledger scopes with the given name prefix.
-  enum Field { kComm, kRw, kFlops };
-  auto sum = [&](const std::string& prefix, Field f) {
-    double s = 0;
-    for (const auto& [name, t] : snap) {
-      if (name.compare(0, prefix.size(), prefix) != 0) continue;
-      s += f == kComm ? t.comm_bytes : f == kRw ? t.bytes_read + t.bytes_written : t.flops;
-    }
-    return s;
-  };
+  auto sum = [&](const std::string& prefix, Field f) { return ledger_sum(snap, prefix, f); };
 
   double flops = 0, mem_scalars = 0;
   for (const auto& st : model::exact_fmm_counts(prm, components, g)) {
@@ -141,10 +150,19 @@ ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, i
   }
 
   ModelReport rep;
-  // The transpose payload — the §5.3 "exact for A2A" guarantee. Every
-  // device ships all but its own slab once: (G-1)/G · N complex elements.
-  rep.checks.push_back({"traffic.a2a_payload", sum("comm.A2A-2D", kComm),
-                        g > 1 ? r * (gd - 1.0) / gd * n * 2.0 * real_bytes : 0.0, kExact});
+  // The transpose payload — the §5.3 "exact for A2A" guarantee. Slab: every
+  // device ships all but its own slab once, (G-1)/G · N complex elements in
+  // the one exchange. Pencil: the same permutation factorizes into a row
+  // phase moving (pc-1)/pc·N and a column phase moving (pr-1)/pr·N.
+  if (pr > 0) {
+    rep.checks.push_back({"traffic.a2a_row_payload", sum("comm.A2A-ROW", kComm),
+                          r * double(pc - 1) / double(pc) * n * 2.0 * real_bytes, kExact});
+    rep.checks.push_back({"traffic.a2a_col_payload", sum("comm.A2A-COL", kComm),
+                          r * double(pr - 1) / double(pr) * n * 2.0 * real_bytes, kExact});
+  } else {
+    rep.checks.push_back({"traffic.a2a_payload", sum("comm.A2A-2D", kComm),
+                          g > 1 ? r * (gd - 1.0) / gd * n * 2.0 * real_bytes : 0.0, kExact});
+  }
   const auto exact = model::exact_fmm_comm(prm, components, g);
   const double comm_mb = sum("comm.COMM-MB", kComm);
   rep.checks.push_back({"traffic.comm_s", sum("comm.COMM-S", kComm),
@@ -177,6 +195,46 @@ ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, i
   // width (identical when the widths agree).
   rep.checks.push_back({"traffic.post_bytes", sum("post", kRw),
                         r * n * (double(components) * tb + 2.0 * real_bytes), kExact});
+  return rep;
+}
+
+ModelReport compare_fft3d_traffic(index_t n0, index_t n1, index_t n2, index_t g,
+                                  double real_bytes, int runs, int pr, int pc) {
+  constexpr double kExact = 1e-9;
+  const auto snap = TrafficLedger::global().snapshot();
+  const double r = double(runs), gd = double(g);
+  const double n = double(n0) * double(n1) * double(n2);
+  const double eb = 2.0 * real_bytes;  // complex element
+  auto sum = [&](const std::string& prefix, Field f) { return ledger_sum(snap, prefix, f); };
+
+  ModelReport rep;
+  if (pr > 0) {
+    // Pencil: per-phase fabric payloads, and the ledger's fused pack/unpack
+    // bytes — each phase reads every element once and writes it once.
+    rep.checks.push_back({"traffic.a2a_row_payload", sum("comm.A2A-ROW", kComm),
+                          r * double(pc - 1) / double(pc) * n * eb, kExact});
+    rep.checks.push_back({"traffic.a2a_col_payload", sum("comm.A2A-COL", kComm),
+                          r * double(pr - 1) / double(pr) * n * eb, kExact});
+    rep.checks.push_back({"traffic.a2a_row_bytes", sum("a2a.row.", kRw), r * 2.0 * n * eb,
+                          kExact});
+    rep.checks.push_back({"traffic.a2a_col_bytes", sum("a2a.col.", kRw), r * 2.0 * n * eb,
+                          kExact});
+  } else {
+    // Slab: one G-wide exchange plus the local i0↔i1 reorientation pass.
+    rep.checks.push_back({"traffic.a2a_payload", sum("comm.A2A-3D", kComm),
+                          g > 1 ? r * (gd - 1.0) / gd * n * eb : 0.0, kExact});
+    rep.checks.push_back({"traffic.transpose_bytes", sum("transpose", kRw),
+                          r * 2.0 * n * eb, kExact});
+  }
+
+  // Three batched FFT phases; each pass reads and writes every line once.
+  if (is_pow2(n0) && is_pow2(n1) && is_pow2(n2)) {
+    const double passes = double(stockham_passes(ilog2_exact(n0))) +
+                          double(stockham_passes(ilog2_exact(n1))) +
+                          double(stockham_passes(ilog2_exact(n2)));
+    rep.checks.push_back({"traffic.fft_bytes", sum("fft", kRw), r * 2.0 * passes * n * eb,
+                          kExact});
+  }
   return rep;
 }
 

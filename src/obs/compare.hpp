@@ -75,8 +75,24 @@ ModelReport compare_with_model(const fmm::Params& prm, int components, index_t g
 ///  * post bytes vs the single-sweep volume: the C-component T tensor read
 ///    at the translation width plus the complex FFT input written at the
 ///    shell width
+/// `pr`/`pc`: the 2D-FFT stage's decomposition. 0/0 (default) = slab, one
+/// A2A-2D exchange of (G-1)/G·N elements; pr > 0 = the pencil two-phase
+/// exchange over a pr×pc grid, checked as comm.A2A-ROW = (pc-1)/pc·N and
+/// comm.A2A-COL = (pr-1)/pr·N element payloads instead.
 ModelReport compare_traffic_with_model(const fmm::Params& prm, int components, index_t g,
                                        double real_bytes, int runs = 1,
-                                       double trans_bytes = 0);
+                                       double trans_bytes = 0, int pr = 0, int pc = 0);
+
+/// Traffic cross-validation for `runs` executions of a distributed
+/// n0×n1×n2 3D FFT (dist::Dist3dFft) on g devices. `pr` = 0 checks the
+/// slab path (comm.A2A-3D payload exact at (G-1)/G·N elements, plus the
+/// local reorientation's transpose bytes at 2·N); pr > 0 checks the
+/// pr×pc pencil path (comm.A2A-ROW/COL at (pc-1)/pc·N and (pr-1)/pr·N,
+/// plus the a2a.row.*/a2a.col.* pack+unpack ledger bytes at 2·N each —
+/// every element read once and written once per phase). Both variants
+/// check the three FFT phases' Stockham pass bytes (pow2 extents). All
+/// exact to ~1e-9.
+ModelReport compare_fft3d_traffic(index_t n0, index_t n1, index_t n2, index_t g,
+                                  double real_bytes, int runs = 1, int pr = 0, int pc = 0);
 
 }  // namespace fmmfft::obs

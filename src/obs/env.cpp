@@ -25,6 +25,12 @@ const std::vector<Knob>& registry() {
        "comm payloads under an fp64 shell)"},
       {"FMMFFT_EXEC_FLOOR", "int", "65536",
        "per-device element floor below which auto resolves to serial"},
+      {"FMMFFT_DECOMP", "enum", "auto",
+       "distributed 2D/3D decomposition: auto (cost model) | slab (one-phase "
+       "all-to-all) | pencil (two-phase row/column sub-communicators)"},
+      {"FMMFFT_GRID", "string", "(squarest)",
+       "pencil processor grid as PRxPC (e.g. 2x4); must multiply to the device "
+       "count and divide the transform extents"},
       {"FMMFFT_FLIGHT", "flag", "0",
        "enable the always-on flight recorder (per-thread rings of recent events)"},
       {"FMMFFT_WATCHDOG_MS", "int", "0",

@@ -24,6 +24,11 @@
 //   a2a.pack, a2a.unpack    fused all-to-all: pack = the strided gather's
 //                           reads, unpack = the scatter's writes (one read
 //                           + one write per element, no staging copies)
+//   a2a.row.pack/.unpack    the pencil decomposition's row-phase messages
+//   a2a.col.pack/.unpack    ... and column-phase messages, same discipline
+//                           (each phase reads + writes every element once,
+//                           so a two-phase exchange moves 2× the one-phase
+//                           ledger bytes by construction)
 //   comm.<tag>              fabric payload bytes (comm_bytes, not rd/wr)
 //   post                    §4.9 post-processing sweep
 //   halo.cyclic             single-address-space halo copies (G = 1)

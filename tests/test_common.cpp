@@ -262,6 +262,22 @@ TEST(Permute, TransposeInplaceMatchesOutOfPlace) {
   }
 }
 
+TEST(Permute, TransposeInplaceRejectsRectangular) {
+  // The shape-checked overload must hard-error on non-square matrices
+  // (in-place cycle-following over a rectangle would silently corrupt) and
+  // agree with the square overload when the shape is legal.
+  std::vector<double> x(std::size_t(6 * 4));
+  fill_uniform(x.data(), 24, 7);
+  EXPECT_THROW(transpose_inplace(x.data(), index_t(6), index_t(4)), Error);
+  EXPECT_THROW(transpose_inplace(x.data(), index_t(1), index_t(24)), Error);
+  std::vector<double> sq(std::size_t(4 * 4)), want(sq.size());
+  fill_uniform(sq.data(), 16, 8);
+  transpose_blocked(sq.data(), want.data(), 4, 4);
+  std::vector<double> y = sq;
+  transpose_inplace(y.data(), index_t(4), index_t(4));
+  EXPECT_EQ(y, want);
+}
+
 TEST(Permute, TransposeStridedSubmatrix) {
   // The strided kernel under the fused all-to-all: transpose an interior
   // nr×nc window of a larger matrix with independent source/destination

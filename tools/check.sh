@@ -166,6 +166,57 @@ else
   [ -s "$TRAFFIC_MX" ] || { echo "MIXED TRAFFIC SMOKE FAILED: $TRAFFIC_MX is empty"; exit 1; }
 fi
 
+echo "== 3D decomposition traffic smoke test =="
+# Pencil vs slab on the same 32x32x16 transform, 4 devices: both must pass
+# the exact ledger-vs-model check, and the wire payloads must match the
+# closed forms — slab ships (G-1)/G of the array once; the pencil's two
+# sub-communicator hops ship (pc-1)/pc then (pr-1)/pr of it. The per-device
+# scaling ((pc-1)·N/(G·pc) per row hop vs (G-1)·N/G² for the slab) is what
+# makes the pencil's messages fewer and larger.
+TRAFFIC_3DP=$(mktemp --suffix=.json)
+TRAFFIC_3DS=$(mktemp --suffix=.json)
+TRAFFIC_3D_LOG=$(mktemp)
+trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$TRAFFIC" "$TRAFFIC_LOG" "$TRAFFIC_MX" "$TRAFFIC_MX_LOG" "$TRAFFIC_3DP" "$TRAFFIC_3DS" "$TRAFFIC_3D_LOG"' EXIT
+FMMFFT_PRECISION=fp64 \
+  "$BUILD/examples/fmmfft_cli" --fft3d 32x32x16 --devices 4 --decomp pencil --grid 2x2 \
+  --traffic "$TRAFFIC_3DP" | tee "$TRAFFIC_3D_LOG" | grep -E "traffic check|decomp" || true
+grep -q "traffic check: OK" "$TRAFFIC_3D_LOG" || {
+  echo "3D PENCIL TRAFFIC SMOKE FAILED"; cat "$TRAFFIC_3D_LOG"; exit 1
+}
+FMMFFT_PRECISION=fp64 \
+  "$BUILD/examples/fmmfft_cli" --fft3d 32x32x16 --devices 4 --decomp slab \
+  --traffic "$TRAFFIC_3DS" | tee "$TRAFFIC_3D_LOG" | grep -E "traffic check|decomp" || true
+grep -q "traffic check: OK" "$TRAFFIC_3D_LOG" || {
+  echo "3D SLAB TRAFFIC SMOKE FAILED"; cat "$TRAFFIC_3D_LOG"; exit 1
+}
+if command -v python3 >/dev/null; then
+  python3 - "$TRAFFIC_3DP" "$TRAFFIC_3DS" <<'EOF'
+import json, sys
+pencil = json.load(open(sys.argv[1]))["scopes"]
+slab = json.load(open(sys.argv[2]))["scopes"]
+n, g, pr, pc, eb = 32 * 32 * 16, 4, 2, 2, 16
+row = pencil["comm.A2A-ROW"]["comm_bytes"]
+col = pencil["comm.A2A-COL"]["comm_bytes"]
+one = slab["comm.A2A-3D"]["comm_bytes"]
+assert row == (pc - 1) / pc * n * eb, (row, "row")
+assert col == (pr - 1) / pr * n * eb, (col, "col")
+assert one == (g - 1) / g * n * eb, (one, "slab")
+assert "comm.A2A-ROW" not in slab and "comm.A2A-3D" not in pencil
+# Per-device, per-phase scaling: each row hop ships (pc-1)·N/(G·pc) elements
+# in pc-1 messages of N/(G·pc) — larger than the slab's G-1 messages of
+# N/G² whenever pc < G.
+assert abs(row / g - (pc - 1) * n / (g * pc) * eb) < 1e-9
+assert abs(one / g - (g - 1) * n / (g * g) * eb) < 1e-9
+msg_pencil, msg_slab = n / (g * pc) * eb, n / (g * g) * eb
+assert msg_pencil > msg_slab
+print(f"3D traffic OK: slab {one:.0f}B one hop; pencil {row:.0f}+{col:.0f}B over "
+      f"two hops, per-message {msg_pencil:.0f}B vs slab {msg_slab:.0f}B")
+EOF
+else
+  echo "python3 not found; skipped 3D traffic validation (files are non-empty)"
+  [ -s "$TRAFFIC_3DP" ] && [ -s "$TRAFFIC_3DS" ] || { echo "3D TRAFFIC SMOKE FAILED: empty"; exit 1; }
+fi
+
 echo "== bench regression gate =="
 FRESH=$(mktemp --suffix=.json)
 trap 'rm -f "$BUILD_LOG" "$TRACE" "$METRICS" "$FRESH"' EXIT
